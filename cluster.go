@@ -1,0 +1,98 @@
+package kvdirect
+
+import (
+	"fmt"
+)
+
+// Cluster shards a key space across several independent Store instances,
+// functionally reproducing the paper's multi-NIC deployment (§5.2): each
+// programmable NIC owns a disjoint partition of host memory and serves it
+// through its own PCIe links, so the NICs scale near-linearly to 1.22
+// billion KV operations per second with ten cards.
+//
+// Keys are routed by hash; a Cluster is not safe for concurrent use (wrap
+// each shard with kvnet.Server for shared access, one listener per NIC as
+// the real deployment does).
+type Cluster struct {
+	stores []*Store
+}
+
+// NewCluster creates n stores, each configured with cfg (cfg.MemoryBytes
+// is the per-NIC partition size, as in the paper where each of the 10
+// NICs owns a slice of the 128 GiB host memory).
+func NewCluster(n int, cfg Config) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("kvdirect: cluster needs at least one store, got %d", n)
+	}
+	c := &Cluster{stores: make([]*Store, n)}
+	for i := range c.stores {
+		shardCfg := cfg
+		shardCfg.Seed = cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+		s, err := New(shardCfg)
+		if err != nil {
+			return nil, err
+		}
+		c.stores[i] = s
+	}
+	return c, nil
+}
+
+// NumShards returns the number of stores (NICs).
+func (c *Cluster) NumShards() int { return len(c.stores) }
+
+// Shard returns the store that owns key.
+func (c *Cluster) Shard(key []byte) *Store { return c.stores[c.index(key)] }
+
+// ShardAt returns shard i directly (for per-NIC servers or stats).
+func (c *Cluster) ShardAt(i int) *Store { return c.stores[i] }
+
+func (c *Cluster) index(key []byte) int {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return int(h % uint64(len(c.stores)))
+}
+
+// Get routes a GET to the owning shard.
+func (c *Cluster) Get(key []byte) ([]byte, bool) { return c.Shard(key).Get(key) }
+
+// Put routes a PUT to the owning shard.
+func (c *Cluster) Put(key, value []byte) error { return c.Shard(key).Put(key, value) }
+
+// Delete routes a DELETE to the owning shard.
+func (c *Cluster) Delete(key []byte) bool { return c.Shard(key).Delete(key) }
+
+// Update routes an atomic scalar update to the owning shard.
+func (c *Cluster) Update(key []byte, fnID uint8, width int, param uint64) (uint64, error) {
+	return c.Shard(key).Update(key, fnID, width, param)
+}
+
+// Flush drains every shard's pipeline.
+func (c *Cluster) Flush() {
+	for _, s := range c.stores {
+		s.Flush()
+	}
+}
+
+// NumKeys returns the total stored keys across shards.
+func (c *Cluster) NumKeys() uint64 {
+	var n uint64
+	for _, s := range c.stores {
+		n += s.NumKeys()
+	}
+	return n
+}
+
+// ShardKeyCounts returns per-shard key counts (for balance checks).
+func (c *Cluster) ShardKeyCounts() []uint64 {
+	out := make([]uint64, len(c.stores))
+	for i, s := range c.stores {
+		out[i] = s.NumKeys()
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+// Command kvdcli is a line-oriented client for a KV-Direct server.
+//
+// Usage:
+//
+//	kvdcli [-addr host:port] [command args...]
+//
+// With arguments it runs one command and exits; without, it reads
+// commands from stdin (one per line):
+//
+//	get <key>
+//	put <key> <value>
+//	del <key>
+//	incr <key> [delta]        atomic fetch-and-add on an 8-byte counter
+//	reduce <key> <add|max>    fold a 4-byte-element vector on the server
+//	register <id> <expr>      compile and install an update λ on the server
+//	stats                     dump the server's counters
+//	bench <n>                 time n pipelined PUT+GET pairs
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"kvdirect"
+	"kvdirect/kvnet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7890", "server address")
+	flag.Parse()
+
+	client, err := kvnet.Dial(*addr)
+	if err != nil {
+		log.Fatalf("kvdcli: %v", err)
+	}
+	defer client.Close()
+
+	if args := flag.Args(); len(args) > 0 {
+		if err := run(client, args); err != nil {
+			log.Fatalf("kvdcli: %v", err)
+		}
+		return
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) > 0 {
+			if fields[0] == "quit" || fields[0] == "exit" {
+				return
+			}
+			if err := run(client, fields); err != nil {
+				fmt.Printf("error: %v\n", err)
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+func run(c *kvnet.Client, args []string) error {
+	switch args[0] {
+	case "get":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: get <key>")
+		}
+		v, found, err := c.Get([]byte(args[1]))
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Println("(not found)")
+			return nil
+		}
+		fmt.Printf("%q\n", v)
+
+	case "put":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: put <key> <value>")
+		}
+		if err := c.Put([]byte(args[1]), []byte(args[2])); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+
+	case "del":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: del <key>")
+		}
+		found, err := c.Delete([]byte(args[1]))
+		if err != nil {
+			return err
+		}
+		if found {
+			fmt.Println("OK")
+		} else {
+			fmt.Println("(not found)")
+		}
+
+	case "incr":
+		if len(args) < 2 || len(args) > 3 {
+			return fmt.Errorf("usage: incr <key> [delta]")
+		}
+		delta := uint64(1)
+		if len(args) == 3 {
+			d, err := strconv.ParseUint(args[2], 10, 64)
+			if err != nil {
+				return err
+			}
+			delta = d
+		}
+		old, err := c.FetchAdd([]byte(args[1]), delta)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d -> %d\n", old, old+delta)
+
+	case "reduce":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: reduce <key> <add|max>")
+		}
+		fn := kvdirect.FnAdd
+		if args[2] == "max" {
+			fn = kvdirect.FnMax
+		}
+		sum, err := c.Reduce([]byte(args[1]), fn, 4, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Println(sum)
+
+	case "register":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: register <id> <expr>")
+		}
+		id, err := strconv.ParseUint(args[1], 10, 8)
+		if err != nil {
+			return err
+		}
+		if err := c.RegisterExpression(uint8(id), strings.Join(args[2:], " "), false); err != nil {
+			return err
+		}
+		fmt.Println("OK")
+
+	case "stats":
+		text, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+
+	case "bench":
+		if len(args) != 2 {
+			return fmt.Errorf("usage: bench <n>")
+		}
+		n, err := strconv.Atoi(args[1])
+		if err != nil {
+			return err
+		}
+		return bench(c, n)
+
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}
+
+// bench issues n PUT+GET pairs in batches of 64 per packet and reports
+// round-trip throughput.
+func bench(c *kvnet.Client, n int) error {
+	const batch = 64
+	start := time.Now()
+	done := 0
+	for done < n {
+		m := batch
+		if n-done < m {
+			m = n - done
+		}
+		ops := make([]kvdirect.Op, 0, 2*m)
+		for i := 0; i < m; i++ {
+			key := []byte(fmt.Sprintf("bench-%08d", done+i))
+			ops = append(ops,
+				kvdirect.Op{Code: kvdirect.OpPut, Key: key, Value: key},
+				kvdirect.Op{Code: kvdirect.OpGet, Key: key})
+		}
+		res, err := c.Do(ops)
+		if err != nil {
+			return err
+		}
+		for i, r := range res {
+			if !r.OK() {
+				return fmt.Errorf("op %d failed: %s", i, r.Value)
+			}
+		}
+		done += m
+	}
+	el := time.Since(start)
+	fmt.Printf("%d PUT+GET pairs in %v (%.0f ops/s over TCP)\n",
+		n, el, float64(2*n)/el.Seconds())
+	return nil
+}

@@ -1,0 +1,90 @@
+// Command kvdserver runs a KV-Direct store behind a TCP endpoint speaking
+// the batched KV-Direct wire format (see kvnet).
+//
+// Usage:
+//
+//	kvdserver [-addr host:port] [-mem bytes] [-index-ratio r]
+//	          [-inline n] [-dispatch r] [-no-cache] [-no-ooo]
+//	          [-shards n]
+//
+// With -shards n it runs n independent stores behind n listeners on
+// consecutive ports — the paper's multi-NIC server (pair it with
+// kvnet.DialShards). The process logs its listen addresses and serves
+// until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+
+	"kvdirect"
+	"kvdirect/kvnet"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7890", "listen address (shard i listens on port+i)")
+	mem := flag.Uint64("mem", 256<<20, "host KVS memory bytes (per shard)")
+	indexRatio := flag.Float64("index-ratio", 0.5, "hash index ratio")
+	inline := flag.Int("inline", 13, "inline threshold in bytes (-1 disables)")
+	dispatchRatio := flag.Float64("dispatch", 0.5, "load dispatch ratio")
+	noCache := flag.Bool("no-cache", false, "disable the NIC DRAM cache")
+	noOoO := flag.Bool("no-ooo", false, "disable out-of-order execution")
+	shards := flag.Int("shards", 1, "number of NIC shards (one listener each, like the 10-NIC server)")
+	flag.Parse()
+
+	cfg := kvdirect.Config{
+		MemoryBytes:       *mem,
+		HashIndexRatio:    *indexRatio,
+		InlineThreshold:   *inline,
+		LoadDispatchRatio: *dispatchRatio,
+		DisableCache:      *noCache,
+		DisableOoO:        *noOoO,
+	}
+	if *shards < 1 {
+		log.Fatalf("kvdserver: -shards must be >= 1")
+	}
+
+	cluster, err := kvdirect.NewCluster(*shards, cfg)
+	if err != nil {
+		log.Fatalf("kvdserver: %v", err)
+	}
+	host, portStr, err := net.SplitHostPort(*addr)
+	if err != nil {
+		log.Fatalf("kvdserver: bad -addr: %v", err)
+	}
+	basePort, err := strconv.Atoi(portStr)
+	if err != nil {
+		log.Fatalf("kvdserver: bad port: %v", err)
+	}
+	servers := make([]*kvnet.Server, *shards)
+	for i := range servers {
+		shardAddr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
+		srv, err := kvnet.Serve(cluster.ShardAt(i), shardAddr)
+		if err != nil {
+			log.Fatalf("kvdserver: shard %d: %v", i, err)
+		}
+		servers[i] = srv
+		log.Printf("kvdserver: shard %d/%d serving %d MiB on %s",
+			i+1, *shards, *mem>>20, srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+
+	fmt.Println()
+	for i, srv := range servers {
+		st := cluster.ShardAt(i).Stats()
+		log.Printf("kvdserver: shard %d — %d keys, %d DMAs (%d reads, %d writes), cache hit rate %.2f, merge ratio %.2f",
+			i, st.Keys, st.Mem.Accesses(), st.Mem.Reads, st.Mem.Writes,
+			st.Cache.HitRate(), st.Engine.MergeRatio())
+		if err := srv.Close(); err != nil {
+			log.Fatalf("kvdserver: close shard %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Single-object transactions on KV-Direct: the paper's TPC-C example
+// (§3.2 — "Single-object transaction processing completely in the
+// programmable NIC is also possible, e.g., wrapping around S_QUANTITY in
+// TPC-C").
+//
+// TPC-C's new-order transaction updates a stock item's S_QUANTITY:
+//
+//	if s_quantity - qty >= 10 { s_quantity -= qty }
+//	else                      { s_quantity  = s_quantity - qty + 91 }
+//
+// That read-modify-write is one branchless λ expression, registered once
+// (the toolchain-compile step) and then executed atomically on the NIC
+// per order line — no client round trip, no lock, no CAS retry loop.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"kvdirect"
+	"kvdirect/kvnet"
+)
+
+const (
+	items       = 1000
+	orders      = 20000
+	linesPer    = 10
+	initialQty  = 50
+	fnSQuantity = 50 // registered λ id
+)
+
+func stockKey(i int) []byte { return []byte(fmt.Sprintf("stock:%05d", i)) }
+
+func main() {
+	store, err := kvdirect.New(kvdirect.Config{MemoryBytes: 32 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := kvnet.Serve(store, "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := kvnet.Dial(srv.Addr())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer client.Close()
+
+	// Register the S_QUANTITY wrap-around λ on the server — the
+	// "compile to hardware before use" step.
+	const sQuantityExpr = "(v - p >= 10) * (v - p) + (v - p < 10) * (v - p + 91)"
+	if err := client.RegisterExpression(fnSQuantity, sQuantityExpr, false); err != nil {
+		log.Fatal(err)
+	}
+
+	// Load the stock table.
+	qty := make([]byte, 8)
+	binary.LittleEndian.PutUint64(qty, initialQty)
+	for i := 0; i < items; i++ {
+		if err := client.Put(stockKey(i), qty); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Run new-order transactions: each order line is ONE atomic update
+	// op; order lines batch into one packet per order.
+	rng := rand.New(rand.NewSource(99))
+	totalOrdered := uint64(0)
+	for o := 0; o < orders; o++ {
+		ops := make([]kvdirect.Op, linesPer)
+		for l := range ops {
+			q := uint64(rng.Intn(10) + 1)
+			totalOrdered += q
+			p := make([]byte, 8)
+			binary.LittleEndian.PutUint64(p, q)
+			ops[l] = kvdirect.Op{
+				Code: kvdirect.OpUpdateScalar, Key: stockKey(rng.Intn(items)),
+				FuncID: fnSQuantity, ElemWidth: 8, Param: p,
+			}
+		}
+		res, err := client.Do(ops)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range res {
+			if !r.OK() {
+				log.Fatalf("order %d line %d failed: %s", o, i, r.Value)
+			}
+		}
+	}
+
+	// Verify the TPC-C invariant: every stock level is a valid
+	// post-transaction quantity (>= 10 can only be violated transiently
+	// inside the λ, never in stored state... in fact the rule guarantees
+	// stored s_quantity >= 10 whenever initial >= 10 and qty <= 10).
+	violations := 0
+	var minQty uint64 = 1 << 62
+	for i := 0; i < items; i++ {
+		v, found, err := client.Get(stockKey(i))
+		if err != nil || !found {
+			log.Fatalf("stock %d missing: %v", i, err)
+		}
+		s := binary.LittleEndian.Uint64(v)
+		if s < 10 || s > initialQty+91 {
+			violations++
+		}
+		if s < minQty {
+			minQty = s
+		}
+	}
+
+	fmt.Printf("processed %d orders (%d order lines, %d units) against %d stock items\n",
+		orders, orders*linesPer, totalOrdered, items)
+	fmt.Printf("min stock level %d, invariant violations: %d\n", minQty, violations)
+	st := store.Stats()
+	fmt.Printf("server: %d ops, %.0f%% merged in the reservation station, %d PCIe DMAs\n",
+		st.Engine.Submitted, 100*st.Engine.MergeRatio(), st.Mem.Accesses())
+	if violations > 0 {
+		log.Fatal("TPC-C S_QUANTITY invariant violated")
+	}
+}

@@ -1,0 +1,3 @@
+module kvdirect
+
+go 1.22

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kvdirect/internal/wire"
+)
+
+// Apply executes one decoded wire request against the store and builds
+// its response — the glue between the vector operation decoder and the KV
+// processor that the network server uses.
+func (s *Store) Apply(req wire.Request) wire.Response {
+	switch req.Op {
+	case wire.OpGet:
+		v, ok := s.Get(req.Key)
+		if !ok {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		return wire.Response{Status: wire.StatusOK, Value: v}
+
+	case wire.OpPut:
+		if err := s.Put(req.Key, req.Value); err != nil {
+			return errResp(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
+
+	case wire.OpDelete:
+		if !s.Delete(req.Key) {
+			return wire.Response{Status: wire.StatusNotFound}
+		}
+		return wire.Response{Status: wire.StatusOK}
+
+	case wire.OpUpdateScalar:
+		width := int(req.ElemWidth)
+		param, err := paramScalar(req.Param, width)
+		if err != nil {
+			return errResp(err)
+		}
+		old, err := s.Update(req.Key, req.FuncID, width, param)
+		if err != nil {
+			return errResp(err)
+		}
+		out := make([]byte, width)
+		encodeElem(out, 0, width, old)
+		return wire.Response{Status: wire.StatusOK, Value: out}
+
+	case wire.OpUpdateS2V:
+		width := int(req.ElemWidth)
+		param, err := paramScalar(req.Param, width)
+		if err != nil {
+			return errResp(err)
+		}
+		orig, err := s.UpdateScalarToVector(req.Key, req.FuncID, width, param)
+		if err != nil {
+			return errResp(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Value: orig}
+
+	case wire.OpUpdateV2V:
+		orig, err := s.UpdateVectorToVector(req.Key, req.FuncID, int(req.ElemWidth), req.Value)
+		if err != nil {
+			return errResp(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Value: orig}
+
+	case wire.OpReduce:
+		width := int(req.ElemWidth)
+		init, err := paramScalar(req.Param, width)
+		if err != nil {
+			return errResp(err)
+		}
+		sum, err := s.Reduce(req.Key, req.FuncID, width, init)
+		if err != nil {
+			return errResp(err)
+		}
+		out := make([]byte, 8)
+		binary.LittleEndian.PutUint64(out, sum)
+		return wire.Response{Status: wire.StatusOK, Value: out}
+
+	case wire.OpFilter:
+		v, err := s.Filter(req.Key, req.FuncID, int(req.ElemWidth))
+		if err != nil {
+			return errResp(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Value: v}
+
+	case wire.OpStats:
+		st := s.Stats()
+		text := fmt.Sprintf(
+			"keys=%d\npayload_bytes=%d\nchain_buckets=%d\nutilization=%.4f\n"+
+				"pcie_reads=%d\npcie_writes=%d\ncache_hit_rate=%.4f\n"+
+				"merge_ratio=%.4f\nwritebacks=%d\nwriteback_errors=%d\n"+
+				"slab_allocs=%d\nslab_frees=%d\nslab_sync_dmas=%d\n",
+			st.Keys, st.PayloadBytes, st.ChainBuckets, s.Utilization(),
+			st.Mem.Reads, st.Mem.Writes, st.Cache.HitRate(),
+			st.Engine.MergeRatio(), st.Engine.Writebacks, st.Engine.WritebackErrors,
+			st.Slab.Allocs, st.Slab.Frees, st.Slab.SyncDMAs)
+		return wire.Response{Status: wire.StatusOK, Value: []byte(text)}
+
+	case wire.OpRegister:
+		src := string(req.Param)
+		var err error
+		if req.ElemWidth == 1 {
+			err = s.RegisterFilterExpression(req.FuncID, src)
+		} else {
+			err = s.RegisterExpression(req.FuncID, src)
+		}
+		if err != nil {
+			return errResp(err)
+		}
+		return wire.Response{Status: wire.StatusOK}
+
+	default:
+		return wire.Response{Status: wire.StatusError, Value: []byte("bad opcode")}
+	}
+}
+
+// ApplyBatch executes a decoded packet in order, preserving the paper's
+// guarantee that dependent operations within a batch see each other's
+// effects.
+func (s *Store) ApplyBatch(reqs []wire.Request) []wire.Response {
+	out := make([]wire.Response, len(reqs))
+	for i, r := range reqs {
+		out[i] = s.Apply(r)
+	}
+	return out
+}
+
+func paramScalar(p []byte, width int) (uint64, error) {
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	if len(p) != width {
+		return 0, ErrParamWidth
+	}
+	return decodeElem(p, 0, width), nil
+}
+
+func errResp(err error) wire.Response {
+	if errors.Is(err, ErrNotFound) {
+		return wire.Response{Status: wire.StatusNotFound}
+	}
+	return wire.Response{Status: wire.StatusError, Value: []byte(err.Error())}
+}

@@ -1,0 +1,51 @@
+package core
+
+import "kvdirect/internal/ooo"
+
+// CompareAndSwap atomically replaces key's scalar value (width bytes) with
+// newV if and only if the current value equals expect, returning the value
+// observed and whether the swap happened. A missing key never matches.
+//
+// CAS is the paper's example of a non-commutative atomic (§5.1.3): unlike
+// fetch-and-add it cannot be spread across CPU cores, but the out-of-order
+// engine executes dependent CAS chains by data forwarding at full rate.
+func (s *Store) CompareAndSwap(key []byte, width int, expect, newV uint64) (old uint64, swapped bool, err error) {
+	if werr := checkWidth(width); werr != nil {
+		return 0, false, werr
+	}
+	var widthErr bool
+	var observed uint64
+	var found bool
+	s.engine.Submit(&ooo.Op{Kind: ooo.Atomic, Key: key, KeyHash: keyHash(key),
+		Fn: func(oldRaw []byte) []byte {
+			if oldRaw == nil {
+				return nil // missing key: no swap
+			}
+			if len(oldRaw) != width {
+				widthErr = true
+				return nil
+			}
+			cur := decodeElem(oldRaw, 0, width)
+			if cur != expect {
+				return nil
+			}
+			swapped = true
+			out := make([]byte, width)
+			encodeElem(out, 0, width, newV)
+			return out
+		},
+		Done: func(v []byte, ok bool, _ error) {
+			found = ok
+			if ok && len(v) == width {
+				observed = decodeElem(v, 0, width)
+			}
+		}})
+	s.engine.Flush()
+	if widthErr {
+		return 0, false, ErrBadScalar
+	}
+	if !found {
+		return 0, false, ErrNotFound
+	}
+	return observed, swapped, nil
+}

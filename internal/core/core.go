@@ -1,0 +1,574 @@
+// Package core assembles the KV processor (paper §3.3, Figure 4): the
+// operation decoder feeds a reservation station (out-of-order engine),
+// which issues independent operations into the main processing pipeline —
+// hash table lookups and slab allocation over a unified memory access
+// engine that dispatches between host memory (PCIe) and NIC DRAM.
+//
+// Store is the functional embodiment: every byte of KVS state lives in the
+// simulated host memory, every DMA the hardware would issue is counted,
+// and the full KV-Direct operation set (Table 1) is supported, including
+// vector operations with pre-registered update functions.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kvdirect/internal/dispatch"
+	"kvdirect/internal/hashtable"
+	"kvdirect/internal/memory"
+	"kvdirect/internal/nicdram"
+	"kvdirect/internal/ooo"
+	"kvdirect/internal/slab"
+)
+
+// Config parameterizes a Store. The zero value is usable: defaults follow
+// the paper's testbed scaled down 256x (256 MiB KVS, 16 MiB NIC DRAM).
+type Config struct {
+	// MemoryBytes is the host-memory KVS size (default 256 MiB).
+	MemoryBytes uint64
+	// HashIndexRatio is the fraction of memory holding hash buckets,
+	// configured at initialization time (default 0.5).
+	HashIndexRatio float64
+	// InlineThreshold is the maximum key+value size stored inline in the
+	// hash index (default 13, near-optimal for 10 B KVs at 50%
+	// utilization per Figure 6). Set -1 to disable inlining.
+	InlineThreshold int
+	// NICCacheBytes is the NIC DRAM cache size (default MemoryBytes/16,
+	// the paper's 4 GiB : 64 GiB ratio). 0 keeps the default; set
+	// DisableCache to run without NIC DRAM.
+	NICCacheBytes uint64
+	// LoadDispatchRatio is the fraction of memory served through NIC
+	// DRAM (default 0.5). Ignored when DisableCache is set.
+	LoadDispatchRatio float64
+	// DisableCache turns off the DRAM load dispatcher (PCIe-only
+	// baseline of Figure 14).
+	DisableCache bool
+	// DisableOoO replaces out-of-order execution with pipeline stalling
+	// (Figure 13 baseline).
+	DisableOoO bool
+	// RSSlots and Window size the reservation station (defaults 1024 and
+	// 256).
+	RSSlots, Window int
+	// Seed perturbs hash functions.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MemoryBytes == 0 {
+		c.MemoryBytes = 256 << 20
+	}
+	if c.HashIndexRatio == 0 {
+		c.HashIndexRatio = 0.5
+	}
+	if c.InlineThreshold == 0 {
+		c.InlineThreshold = 13
+	}
+	if c.InlineThreshold < 0 {
+		c.InlineThreshold = 0
+	}
+	if c.NICCacheBytes == 0 {
+		c.NICCacheBytes = c.MemoryBytes / 16
+	}
+	if c.LoadDispatchRatio == 0 {
+		c.LoadDispatchRatio = 0.5
+	}
+	return c
+}
+
+// Store errors.
+var (
+	ErrFull       = hashtable.ErrFull
+	ErrNotFound   = errors.New("core: key not found")
+	ErrBadVector  = errors.New("core: value length not a multiple of element width")
+	ErrBadWidth   = errors.New("core: element width must be 1, 2, 4 or 8")
+	ErrUnknownFn  = errors.New("core: unregistered function id")
+	ErrBadScalar  = errors.New("core: value is not a scalar of the requested width")
+	ErrParamWidth = errors.New("core: parameter length does not match element count")
+)
+
+// UpdateFunc is a pre-registered λ for update and reduce operations: it
+// combines an element (zero-extended to uint64) with a parameter and
+// returns the new element / accumulator. In hardware these are compiled
+// to pipelined logic by the HLS toolchain; here they are Go functions
+// registered before use.
+type UpdateFunc func(elem, param uint64) uint64
+
+// FilterFunc is a pre-registered λ for filter operations.
+type FilterFunc func(elem uint64) bool
+
+// Built-in function ids, pre-registered on every Store.
+const (
+	FnAdd  uint8 = 1 // elem + param
+	FnSub  uint8 = 2 // elem - param
+	FnMax  uint8 = 3
+	FnMin  uint8 = 4
+	FnXor  uint8 = 5
+	FnSwap uint8 = 6 // returns param (atomic exchange)
+
+	FilterNonZero uint8 = 1
+	FilterOdd     uint8 = 2
+)
+
+// Store is a KV-Direct NIC instance: one KV processor with its host-memory
+// partition, NIC DRAM cache and reservation station. Not safe for
+// concurrent use (the hardware pipeline is a single clock domain; the
+// network server serializes into it).
+type Store struct {
+	cfg    Config
+	mem    *memory.Memory
+	cache  *nicdram.Cache
+	disp   *dispatch.Dispatcher
+	alloc  *slab.Allocator
+	table  *hashtable.Table
+	engine *ooo.Engine
+
+	updateFns map[uint8]UpdateFunc
+	filterFns map[uint8]FilterFunc
+}
+
+// NewStore builds a store per cfg.
+func NewStore(cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	mem := memory.New(cfg.MemoryBytes)
+	var cache *nicdram.Cache
+	ratio := 0.0
+	if !cfg.DisableCache {
+		cache = nicdram.New(mem, cfg.NICCacheBytes)
+		ratio = cfg.LoadDispatchRatio
+	}
+	disp := dispatch.New(mem, cache, ratio)
+	idx, slabs := memory.Split(cfg.MemoryBytes, cfg.HashIndexRatio)
+	alloc := slab.New(slabs, slab.Options{})
+	table, err := hashtable.New(disp, alloc, hashtable.Config{
+		Index:           idx,
+		InlineThreshold: cfg.InlineThreshold,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s := &Store{
+		cfg:       cfg,
+		mem:       mem,
+		cache:     cache,
+		disp:      disp,
+		alloc:     alloc,
+		table:     table,
+		updateFns: map[uint8]UpdateFunc{},
+		filterFns: map[uint8]FilterFunc{},
+	}
+	s.engine = ooo.NewEngine(table, cfg.RSSlots, cfg.Window)
+	s.engine.Stall = cfg.DisableOoO
+
+	s.updateFns[FnAdd] = func(e, p uint64) uint64 { return e + p }
+	s.updateFns[FnSub] = func(e, p uint64) uint64 { return e - p }
+	s.updateFns[FnMax] = func(e, p uint64) uint64 {
+		if p > e {
+			return p
+		}
+		return e
+	}
+	s.updateFns[FnMin] = func(e, p uint64) uint64 {
+		if p < e {
+			return p
+		}
+		return e
+	}
+	s.updateFns[FnXor] = func(e, p uint64) uint64 { return e ^ p }
+	s.updateFns[FnSwap] = func(_, p uint64) uint64 { return p }
+	s.filterFns[FilterNonZero] = func(e uint64) bool { return e != 0 }
+	s.filterFns[FilterOdd] = func(e uint64) bool { return e&1 == 1 }
+	return s, nil
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Store) Config() Config { return s.cfg }
+
+// RegisterUpdateFunc registers λ under id, overriding any builtin. This is
+// the software analogue of compiling a user-defined function into the
+// FPGA before use (active messages, §3.2).
+func (s *Store) RegisterUpdateFunc(id uint8, fn UpdateFunc) { s.updateFns[id] = fn }
+
+// RegisterFilterFunc registers a filter λ under id.
+func (s *Store) RegisterFilterFunc(id uint8, fn FilterFunc) { s.filterFns[id] = fn }
+
+// keyHash indexes the reservation station (any stable hash works;
+// dependency tracking only needs same key ⇒ same slot).
+func keyHash(key []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// --- synchronous operations (Table 1) ---
+
+// Get returns the value of key.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	var v []byte
+	var ok bool
+	s.SubmitGet(key, func(value []byte, found bool, _ error) { v, ok = value, found })
+	s.engine.Flush()
+	return v, ok
+}
+
+// Put inserts or replaces a (key, value) pair.
+func (s *Store) Put(key, value []byte) error {
+	var err error
+	s.SubmitPut(key, value, func(_ []byte, _ bool, e error) { err = e })
+	s.engine.Flush()
+	return err
+}
+
+// Delete removes key, reporting whether it existed.
+func (s *Store) Delete(key []byte) bool {
+	var ok bool
+	s.SubmitDelete(key, func(_ []byte, found bool, _ error) { ok = found })
+	s.engine.Flush()
+	return ok
+}
+
+// Update atomically updates the scalar value of key with λ(v, param) and
+// returns the original value (update_scalar2scalar). A missing key is
+// initialized as if its value were zero.
+func (s *Store) Update(key []byte, fnID uint8, width int, param uint64) (old uint64, err error) {
+	var res []byte
+	var cbErr error
+	s.SubmitUpdate(key, fnID, width, param, func(v []byte, _ bool, e error) { res, cbErr = v, e })
+	s.engine.Flush()
+	if cbErr != nil {
+		return 0, cbErr
+	}
+	if len(res) == 0 {
+		return 0, nil
+	}
+	return decodeElem(res, 0, width), nil
+}
+
+// UpdateScalarToVector atomically applies λ(e_i, param) to every element
+// of key's vector value, returning the original vector
+// (update_scalar2vector).
+func (s *Store) UpdateScalarToVector(key []byte, fnID uint8, width int, param uint64) ([]byte, error) {
+	fn, ok := s.updateFns[fnID]
+	if !ok {
+		return nil, ErrUnknownFn
+	}
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	return s.vectorRMW(key, width, func(elems []uint64) []uint64 {
+		for i := range elems {
+			elems[i] = fn(elems[i], param)
+		}
+		return elems
+	})
+}
+
+// UpdateVectorToVector atomically applies λ(e_i, p_i) element-wise using
+// the parameter vector, returning the original vector
+// (update_vector2vector). The parameter vector must have the same element
+// count as the stored vector.
+func (s *Store) UpdateVectorToVector(key []byte, fnID uint8, width int, params []byte) ([]byte, error) {
+	fn, ok := s.updateFns[fnID]
+	if !ok {
+		return nil, ErrUnknownFn
+	}
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	if len(params)%width != 0 {
+		return nil, ErrParamWidth
+	}
+	nParams := len(params) / width
+	return s.vectorRMW(key, width, func(elems []uint64) []uint64 {
+		if len(elems) != nParams {
+			return nil // element-count mismatch: leave the value unchanged
+		}
+		for i := range elems {
+			elems[i] = fn(elems[i], decodeElem(params, i, width))
+		}
+		return elems
+	})
+}
+
+// Reduce folds key's vector into a scalar: Σ = λ(e_i, Σ) starting from
+// init. Read-only and atomic with respect to the pipeline.
+func (s *Store) Reduce(key []byte, fnID uint8, width int, init uint64) (uint64, error) {
+	fn, ok := s.updateFns[fnID]
+	if !ok {
+		return 0, ErrUnknownFn
+	}
+	if err := checkWidth(width); err != nil {
+		return 0, err
+	}
+	v, found, err := s.atomicRead(key)
+	if err != nil {
+		return 0, err
+	}
+	if !found {
+		return 0, ErrNotFound
+	}
+	if len(v)%width != 0 {
+		return 0, ErrBadVector
+	}
+	acc := init
+	for i := 0; i < len(v)/width; i++ {
+		acc = fn(decodeElem(v, i, width), acc)
+	}
+	return acc, nil
+}
+
+// Filter returns the elements of key's vector for which λ holds.
+func (s *Store) Filter(key []byte, fnID uint8, width int) ([]byte, error) {
+	fn, ok := s.filterFns[fnID]
+	if !ok {
+		return nil, ErrUnknownFn
+	}
+	if err := checkWidth(width); err != nil {
+		return nil, err
+	}
+	v, found, err := s.atomicRead(key)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, ErrNotFound
+	}
+	if len(v)%width != 0 {
+		return nil, ErrBadVector
+	}
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v)/width; i++ {
+		if fn(decodeElem(v, i, width)) {
+			out = append(out, v[i*width:(i+1)*width]...)
+		}
+	}
+	return out, nil
+}
+
+// --- asynchronous (pipelined) operations ---
+
+// Done is a completion callback: value is op-dependent (GET result,
+// atomic's original value), found reports key presence, err any failure.
+type Done func(value []byte, found bool, err error)
+
+// SubmitGet pipelines a GET.
+func (s *Store) SubmitGet(key []byte, done Done) {
+	s.engine.Submit(&ooo.Op{Kind: ooo.Get, Key: key, KeyHash: keyHash(key),
+		Done: wrap(done)})
+}
+
+// SubmitPut pipelines a PUT.
+func (s *Store) SubmitPut(key, value []byte, done Done) {
+	s.engine.Submit(&ooo.Op{Kind: ooo.Put, Key: key, KeyHash: keyHash(key),
+		Value: value, Done: wrap(done)})
+}
+
+// SubmitDelete pipelines a DELETE.
+func (s *Store) SubmitDelete(key []byte, done Done) {
+	s.engine.Submit(&ooo.Op{Kind: ooo.Delete, Key: key, KeyHash: keyHash(key),
+		Done: wrap(done)})
+}
+
+func wrap(done Done) func([]byte, bool, error) {
+	if done == nil {
+		return nil
+	}
+	return func(v []byte, ok bool, err error) { done(v, ok, err) }
+}
+
+// SubmitUpdate pipelines an atomic scalar update (update_scalar2scalar).
+// done receives the original value bytes. A missing key initializes from
+// zero; an existing value of the wrong width fails.
+func (s *Store) SubmitUpdate(key []byte, fnID uint8, width int, param uint64, done Done) {
+	fn, ok := s.updateFns[fnID]
+	if !ok {
+		if done != nil {
+			done(nil, false, ErrUnknownFn)
+		}
+		return
+	}
+	if err := checkWidth(width); err != nil {
+		if done != nil {
+			done(nil, false, err)
+		}
+		return
+	}
+	var widthErr bool
+	s.engine.Submit(&ooo.Op{Kind: ooo.Atomic, Key: key, KeyHash: keyHash(key),
+		Fn: func(old []byte) []byte {
+			var cur uint64
+			if old != nil {
+				if len(old) != width {
+					widthErr = true
+					return nil
+				}
+				cur = decodeElem(old, 0, width)
+			}
+			out := make([]byte, width)
+			encodeElem(out, 0, width, fn(cur, param))
+			return out
+		},
+		Done: func(v []byte, found bool, err error) {
+			if done == nil {
+				return
+			}
+			if widthErr {
+				done(nil, found, ErrBadScalar)
+				return
+			}
+			done(v, found, err)
+		}})
+}
+
+// Flush drains all pipelined operations.
+func (s *Store) Flush() { s.engine.Flush() }
+
+// --- vector plumbing ---
+
+// atomicRead reads key's value through the engine (atomicity with respect
+// to in-flight operations comes from the reservation station).
+func (s *Store) atomicRead(key []byte) ([]byte, bool, error) {
+	var v []byte
+	var found bool
+	var err error
+	s.SubmitGet(key, func(value []byte, ok bool, e error) { v, found, err = value, ok, e })
+	s.engine.Flush()
+	return v, found, err
+}
+
+// vectorRMW atomically transforms key's vector value, returning the
+// original vector. xform returns nil to signal an element-count mismatch.
+func (s *Store) vectorRMW(key []byte, width int, xform func([]uint64) []uint64) ([]byte, error) {
+	var orig []byte
+	var found, mismatch, badLen bool
+	s.engine.Submit(&ooo.Op{Kind: ooo.Atomic, Key: key, KeyHash: keyHash(key),
+		Fn: func(old []byte) []byte {
+			if old == nil {
+				return nil // missing key: leave unchanged
+			}
+			if len(old)%width != 0 {
+				badLen = true
+				return nil
+			}
+			elems := make([]uint64, len(old)/width)
+			for i := range elems {
+				elems[i] = decodeElem(old, i, width)
+			}
+			res := xform(elems)
+			if res == nil {
+				mismatch = true
+				return nil
+			}
+			out := make([]byte, len(old))
+			for i, e := range res {
+				encodeElem(out, i, width, e)
+			}
+			return out
+		},
+		Done: func(v []byte, ok bool, _ error) {
+			orig, found = v, ok
+		}})
+	s.engine.Flush()
+	if !found {
+		return nil, ErrNotFound
+	}
+	if badLen {
+		return nil, ErrBadVector
+	}
+	if mismatch {
+		return nil, ErrParamWidth
+	}
+	return orig, nil
+}
+
+func checkWidth(w int) error {
+	switch w {
+	case 1, 2, 4, 8:
+		return nil
+	}
+	return ErrBadWidth
+}
+
+func decodeElem(b []byte, i, width int) uint64 {
+	off := i * width
+	switch width {
+	case 1:
+		return uint64(b[off])
+	case 2:
+		return uint64(binary.LittleEndian.Uint16(b[off:]))
+	case 4:
+		return uint64(binary.LittleEndian.Uint32(b[off:]))
+	default:
+		return binary.LittleEndian.Uint64(b[off:])
+	}
+}
+
+func encodeElem(b []byte, i, width int, v uint64) {
+	off := i * width
+	switch width {
+	case 1:
+		b[off] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(b[off:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(b[off:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(b[off:], v)
+	}
+}
+
+// --- statistics ---
+
+// Stats is a combined snapshot of every component's counters.
+type Stats struct {
+	Mem      memory.Stats
+	Cache    nicdram.Stats
+	Dispatch dispatch.Stats
+	Slab     slab.Stats
+	Engine   ooo.Stats
+
+	Keys         uint64
+	PayloadBytes uint64
+	ChainBuckets uint64
+}
+
+// Stats returns a snapshot across all components.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Mem:          s.mem.Stats(),
+		Dispatch:     s.disp.Stats(),
+		Slab:         s.alloc.Stats(),
+		Engine:       s.engine.Stats(),
+		Keys:         s.table.NumKeys(),
+		PayloadBytes: s.table.PayloadBytes(),
+		ChainBuckets: s.table.ChainBuckets(),
+	}
+	if s.cache != nil {
+		st.Cache = s.cache.Stats()
+	}
+	return st
+}
+
+// ResetCounters zeroes the activity counters (not the stored data), so an
+// experiment can measure a window of operations.
+func (s *Store) ResetCounters() {
+	s.mem.ResetStats()
+	s.disp.ResetStats()
+	s.alloc.ResetStats()
+	if s.cache != nil {
+		s.cache.ResetStats()
+	}
+}
+
+// Utilization returns stored payload bytes over the memory size.
+func (s *Store) Utilization() float64 {
+	return s.table.Utilization(s.cfg.MemoryBytes)
+}
+
+// NumKeys returns the number of stored keys.
+func (s *Store) NumKeys() uint64 { return s.table.NumKeys() }

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"fmt"
+
+	"kvdirect/internal/lambda"
+)
+
+// RegisterExpression compiles an update λ from the expression language
+// (see internal/lambda) and registers it under id — the software analogue
+// of running a user function through the HLS toolchain and loading it
+// into the FPGA before use (paper §3.2's active messages).
+//
+// The expression sees v (the stored element) and p (the client
+// parameter; for reduce, the running accumulator):
+//
+//	store.RegisterExpression(42, "sat_add(v, p)")
+//	store.RegisterExpression(43, "(v > p) * v + (v <= p) * p") // max
+func (s *Store) RegisterExpression(id uint8, src string) error {
+	fn, err := lambda.Compile(src)
+	if err != nil {
+		return fmt.Errorf("core: compile %q: %w", src, err)
+	}
+	s.updateFns[id] = UpdateFunc(fn)
+	return nil
+}
+
+// RegisterFilterExpression compiles a filter predicate over v and
+// registers it under id:
+//
+//	store.RegisterFilterExpression(7, "v % 3 == 0")
+func (s *Store) RegisterFilterExpression(id uint8, src string) error {
+	fn, err := lambda.CompilePredicate(src)
+	if err != nil {
+		return fmt.Errorf("core: compile %q: %w", src, err)
+	}
+	s.filterFns[id] = FilterFunc(fn)
+	return nil
+}

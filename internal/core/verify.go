@@ -1,0 +1,29 @@
+package core
+
+import "kvdirect/internal/hashtable"
+
+// Scan visits every stored KV pair. It drains the pipeline first so the
+// walk observes a consistent snapshot, then issues the same DMAs a full
+// table migration would.
+func (s *Store) Scan(fn func(key, value []byte) bool) {
+	s.engine.Flush()
+	s.table.Scan(fn)
+}
+
+// Verify runs the hash index's structural integrity check (fsck) over
+// the entire store and returns the first violation found, if any.
+func (s *Store) Verify() error {
+	s.engine.Flush()
+	_, err := s.table.Check()
+	return err
+}
+
+// CheckReport exposes the verification pass's structural statistics
+// (chain lengths, walked counts).
+type CheckReport = hashtable.CheckReport
+
+// Fsck runs Verify and returns the full report.
+func (s *Store) Fsck() (CheckReport, error) {
+	s.engine.Flush()
+	return s.table.Check()
+}

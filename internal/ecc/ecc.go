@@ -1,0 +1,245 @@
+// Package ecc implements the ECC-DRAM spare-bit trick KV-Direct uses to
+// store cache metadata (paper §4, "DRAM Load Dispatcher"):
+//
+// ECC DRAM carries 8 check bits per 64 bits of data. A Hamming code that
+// corrects one bit in 64 needs only 7 check bits; the 8th is a parity bit
+// that detects double-bit errors. KV-Direct widens the parity granularity
+// from 64 data bits to 256 data bits, so a 64-byte line (eight 64-bit
+// words) needs 8x7 Hamming bits + 2 wide parity bits instead of 8x8 —
+// freeing 6 bits per line, enough for the DRAM cache's 4 address bits and
+// dirty flag without extra memory accesses or unaligned 65-byte lines.
+//
+// This package provides the word-level SECDED code, the line-level layout
+// with widened parity and embedded metadata, and error
+// injection/correction — everything needed to verify the scheme actually
+// works at the bit level.
+package ecc
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/bits"
+)
+
+// Status reports a decode outcome.
+type Status int
+
+// Decode outcomes.
+const (
+	OK            Status = iota // no error detected
+	Corrected                   // single-bit error corrected
+	Uncorrectable               // double-bit (or worse) error detected
+)
+
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	default:
+		return "uncorrectable"
+	}
+}
+
+// ErrUncorrectable is returned when a double-bit error is detected.
+var ErrUncorrectable = errors.New("ecc: uncorrectable error")
+
+// --- word-level Hamming(71,64) + overall parity = SECDED(72,64) ---
+
+// hammingBits is the number of check bits for 64 data bits: positions
+// 1..71 in the classic Hamming layout, with check bits at powers of two
+// (1,2,4,8,16,32,64) — 7 bits.
+const hammingBits = 7
+
+// encodePositions lays out 64 data bits into Hamming positions 1..71,
+// skipping power-of-two positions.
+func dataPosition(i int) int {
+	// The i-th data bit (0-based) goes to the (i+1)-th non-power-of-two
+	// position ≥ 3.
+	pos := 0
+	count := -1
+	for count < i {
+		pos++
+		if pos&(pos-1) != 0 { // not a power of two
+			count++
+		}
+	}
+	return pos
+}
+
+var dataPos [64]int
+
+func init() {
+	for i := range dataPos {
+		dataPos[i] = dataPosition(i)
+	}
+}
+
+// EncodeWord computes the 7 Hamming check bits for a 64-bit word.
+func EncodeWord(w uint64) uint8 {
+	var code [72]bool // positions 1..71
+	for i := 0; i < 64; i++ {
+		code[dataPos[i]] = w>>uint(i)&1 == 1
+	}
+	var check uint8
+	for c := 0; c < hammingBits; c++ {
+		p := 1 << c
+		parity := false
+		for pos := 1; pos <= 71; pos++ {
+			if pos&p != 0 && code[pos] {
+				parity = !parity
+			}
+		}
+		if parity {
+			check |= 1 << c
+		}
+	}
+	return check
+}
+
+// syndromeWord recomputes the syndrome of a (word, check) pair: zero if
+// consistent, else the 1-based Hamming position of a single flipped bit.
+func syndromeWord(w uint64, check uint8) int {
+	fresh := EncodeWord(w)
+	syn := int(fresh ^ check)
+	return syn
+}
+
+// CorrectWord fixes a single-bit error in (w, check) if present.
+// Returns the corrected word and what happened. Without an overall
+// parity bit it cannot distinguish double errors — that is the wide
+// parity's job at line level.
+func CorrectWord(w uint64, check uint8) (uint64, Status) {
+	syn := syndromeWord(w, check)
+	if syn == 0 {
+		return w, OK
+	}
+	// Syndrome names the flipped position: a data position flips the
+	// corresponding data bit; a check position means the check bits
+	// themselves were hit (data intact).
+	if syn&(syn-1) == 0 {
+		return w, Corrected // a check bit flipped; data is fine
+	}
+	for i := 0; i < 64; i++ {
+		if dataPos[i] == syn {
+			return w ^ 1<<uint(i), Corrected
+		}
+	}
+	// Syndrome points outside the code: more than one bit flipped.
+	return w, Uncorrectable
+}
+
+// --- line level: 64 B data + metadata in the freed bits ---
+
+// MetaBits is how many spare bits the widened-parity layout frees per
+// 64-byte line (8 words x 8 ECC bits = 64; 8x7 Hamming + 2 wide parity
+// = 58; 6 spare).
+const MetaBits = 6
+
+// MetaMask masks valid metadata values.
+const MetaMask = (1 << MetaBits) - 1
+
+// LineBytes is the data payload per line.
+const LineBytes = 64
+
+// CheckBytes is the ECC sideband per line (8 bits per word, as the DIMM
+// provides).
+const CheckBytes = 8
+
+// Line is an encoded 64-byte line: data plus the 8-byte ECC sideband
+// holding 8x7 Hamming bits, 2 widened parity bits and 6 metadata bits.
+type Line struct {
+	Data  [LineBytes]byte
+	Check [CheckBytes]byte
+}
+
+// sidebandLayout: bits 0..55 = eight 7-bit Hamming codes; bit 56,57 =
+// parity over first/second 256 data bits; bits 58..63 = metadata.
+const (
+	parityShift = 56
+	metaShift   = 58
+)
+
+// EncodeLine encodes data and meta (MetaBits wide) into a Line.
+func EncodeLine(data *[LineBytes]byte, meta uint8) Line {
+	var l Line
+	l.Data = *data
+	var side uint64
+	for w := 0; w < 8; w++ {
+		word := binary.LittleEndian.Uint64(data[w*8:])
+		side |= uint64(EncodeWord(word)) << uint(7*w)
+	}
+	// Widened parity: one bit per 256 data bits (4 words).
+	for half := 0; half < 2; half++ {
+		parity := 0
+		for w := half * 4; w < half*4+4; w++ {
+			parity ^= bits.OnesCount64(binary.LittleEndian.Uint64(data[w*8:])) & 1
+		}
+		side |= uint64(parity) << uint(parityShift+half)
+	}
+	side |= uint64(meta&MetaMask) << metaShift
+	binary.LittleEndian.PutUint64(l.Check[:], side)
+	return l
+}
+
+// DecodeLine verifies and (if needed) corrects a line, returning the
+// data, the metadata and the decode status.
+//
+// Guarantees: any single flipped bit per word (data or check) is
+// corrected — including one flip in each of several words. Double flips
+// within one word are detected when the Hamming syndrome falls outside
+// the code or when its miscorrection leaves the widened parity
+// inconsistent (an odd total flip count). The widened-parity trade-off
+// the paper accepts: a double flip whose syndrome aliases to a check-bit
+// position leaves the data flips undetected, a strictly weaker detection
+// than classic per-word SECDED in exchange for the 6 freed metadata bits.
+func DecodeLine(l *Line) (data [LineBytes]byte, meta uint8, status Status, err error) {
+	side := binary.LittleEndian.Uint64(l.Check[:])
+	meta = uint8(side >> metaShift & MetaMask)
+	data = l.Data
+	worst := OK
+	for w := 0; w < 8; w++ {
+		word := binary.LittleEndian.Uint64(data[w*8:])
+		check := uint8(side >> uint(7*w) & 0x7F)
+		fixed, st := CorrectWord(word, check)
+		if st == Uncorrectable {
+			return data, meta, Uncorrectable, ErrUncorrectable
+		}
+		if st == Corrected {
+			worst = Corrected
+			binary.LittleEndian.PutUint64(data[w*8:], fixed)
+		}
+	}
+	// Verify the widened parity against the (corrected) data.
+	for half := 0; half < 2; half++ {
+		parity := 0
+		for w := half * 4; w < half*4+4; w++ {
+			parity ^= bits.OnesCount64(binary.LittleEndian.Uint64(data[w*8:])) & 1
+		}
+		stored := int(side >> uint(parityShift+half) & 1)
+		if parity != stored {
+			// The Hamming layer believed its corrections, but the parity
+			// over the half disagrees: an even-count (double-bit) error
+			// slipped through one word.
+			return data, meta, Uncorrectable, ErrUncorrectable
+		}
+	}
+	return data, meta, worst, nil
+}
+
+// PackCacheMeta packs the DRAM cache's per-line metadata — a 4-bit
+// address tag (host-to-NIC memory ratio up to 16) and the dirty flag —
+// into the 6 spare bits, with one bit left over.
+func PackCacheMeta(tag uint8, dirty bool) uint8 {
+	m := tag & 0x0F
+	if dirty {
+		m |= 1 << 4
+	}
+	return m
+}
+
+// UnpackCacheMeta reverses PackCacheMeta.
+func UnpackCacheMeta(meta uint8) (tag uint8, dirty bool) {
+	return meta & 0x0F, meta&(1<<4) != 0
+}

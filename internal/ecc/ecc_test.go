@@ -1,0 +1,240 @@
+package ecc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeCleanLine(t *testing.T) {
+	var data [LineBytes]byte
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	l := EncodeLine(&data, 0x2A)
+	got, meta, status, err := DecodeLine(&l)
+	if err != nil || status != OK {
+		t.Fatalf("clean decode: %v %v", status, err)
+	}
+	if !bytes.Equal(got[:], data[:]) {
+		t.Fatal("clean decode corrupted data")
+	}
+	if meta != 0x2A {
+		t.Fatalf("meta = %#x, want 0x2A", meta)
+	}
+}
+
+func TestMetaMasked(t *testing.T) {
+	var data [LineBytes]byte
+	l := EncodeLine(&data, 0xFF) // wider than MetaBits
+	_, meta, _, _ := DecodeLine(&l)
+	if meta != MetaMask {
+		t.Fatalf("meta = %#x, want masked %#x", meta, MetaMask)
+	}
+}
+
+func TestEverySingleDataBitFlipCorrected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var data [LineBytes]byte
+	rng.Read(data[:])
+	clean := EncodeLine(&data, 0x15)
+	for bit := 0; bit < LineBytes*8; bit++ {
+		l := clean
+		l.Data[bit/8] ^= 1 << (bit % 8)
+		got, meta, status, err := DecodeLine(&l)
+		if err != nil || status != Corrected {
+			t.Fatalf("bit %d: status %v err %v", bit, status, err)
+		}
+		if !bytes.Equal(got[:], data[:]) {
+			t.Fatalf("bit %d: correction produced wrong data", bit)
+		}
+		if meta != 0x15 {
+			t.Fatalf("bit %d: meta corrupted", bit)
+		}
+	}
+}
+
+func TestSingleCheckBitFlipHarmless(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var data [LineBytes]byte
+	rng.Read(data[:])
+	clean := EncodeLine(&data, 7)
+	// Flip each Hamming check bit (sideband bits 0..55).
+	for bit := 0; bit < 56; bit++ {
+		l := clean
+		l.Check[bit/8] ^= 1 << (bit % 8)
+		got, _, status, err := DecodeLine(&l)
+		if err != nil {
+			t.Fatalf("check bit %d: %v", bit, err)
+		}
+		if status != Corrected {
+			t.Fatalf("check bit %d: status %v, want Corrected", bit, status)
+		}
+		if !bytes.Equal(got[:], data[:]) {
+			t.Fatalf("check bit %d: data corrupted", bit)
+		}
+	}
+}
+
+func TestOneFlipPerWordAllCorrected(t *testing.T) {
+	// Eight errors, one in each word: each word's Hamming corrects its
+	// own (the per-word independence the layout preserves).
+	rng := rand.New(rand.NewSource(3))
+	var data [LineBytes]byte
+	rng.Read(data[:])
+	l := EncodeLine(&data, 1)
+	for w := 0; w < 8; w++ {
+		l.Data[w*8+rng.Intn(8)] ^= 1 << rng.Intn(8)
+	}
+	got, _, status, err := DecodeLine(&l)
+	if err != nil || status != Corrected {
+		t.Fatalf("status %v err %v", status, err)
+	}
+	if !bytes.Equal(got[:], data[:]) {
+		t.Fatal("multi-word correction wrong")
+	}
+}
+
+func TestDoubleFlipInOneWordDetectedOrHonest(t *testing.T) {
+	// Flip two data bits in the same word across many random trials: the
+	// decode must never silently return wrong data with status OK, and
+	// must report Uncorrectable for the (overwhelmingly common) cases
+	// where the syndrome or parity exposes it.
+	rng := rand.New(rand.NewSource(4))
+	detected, aliased := 0, 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		var data [LineBytes]byte
+		rng.Read(data[:])
+		l := EncodeLine(&data, 3)
+		w := rng.Intn(8)
+		b1 := rng.Intn(64)
+		b2 := rng.Intn(64)
+		for b2 == b1 {
+			b2 = rng.Intn(64)
+		}
+		l.Data[w*8+b1/8] ^= 1 << (b1 % 8)
+		l.Data[w*8+b2/8] ^= 1 << (b2 % 8)
+		got, _, status, err := DecodeLine(&l)
+		switch {
+		case err != nil:
+			detected++
+		case status == OK:
+			t.Fatal("double error decoded as OK")
+		case bytes.Equal(got[:], data[:]):
+			t.Fatal("double error 'corrected' to original — impossible")
+		default:
+			aliased++ // documented check-bit-alias escape
+		}
+	}
+	if detected < trials*8/10 {
+		t.Errorf("only %d/%d double errors detected; aliased %d", detected, trials, aliased)
+	}
+}
+
+func TestWordCodecRoundTripProperty(t *testing.T) {
+	f := func(w uint64) bool {
+		check := EncodeWord(w)
+		fixed, status := CorrectWord(w, check)
+		return status == OK && fixed == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordSingleFlipProperty(t *testing.T) {
+	f := func(w uint64, bitRaw uint8) bool {
+		bit := int(bitRaw) % 64
+		check := EncodeWord(w)
+		fixed, status := CorrectWord(w^1<<uint(bit), check)
+		return status == Corrected && fixed == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackUnpackCacheMeta(t *testing.T) {
+	for tag := uint8(0); tag < 16; tag++ {
+		for _, dirty := range []bool{false, true} {
+			m := PackCacheMeta(tag, dirty)
+			if m > MetaMask {
+				t.Fatalf("packed meta %#x exceeds %d bits", m, MetaBits)
+			}
+			gt, gd := UnpackCacheMeta(m)
+			if gt != tag || gd != dirty {
+				t.Fatalf("round trip (%d,%v) -> (%d,%v)", tag, dirty, gt, gd)
+			}
+		}
+	}
+}
+
+func TestCacheMetaSurvivesLineErrors(t *testing.T) {
+	// The whole point: cache tag + dirty flag ride in the spare bits and
+	// survive a correctable data error.
+	var data [LineBytes]byte
+	for i := range data {
+		data[i] = byte(i)
+	}
+	l := EncodeLine(&data, PackCacheMeta(11, true))
+	l.Data[17] ^= 0x10
+	got, meta, status, err := DecodeLine(&l)
+	if err != nil || status != Corrected {
+		t.Fatalf("decode: %v %v", status, err)
+	}
+	tag, dirty := UnpackCacheMeta(meta)
+	if tag != 11 || !dirty {
+		t.Fatalf("metadata lost: tag=%d dirty=%v", tag, dirty)
+	}
+	if !bytes.Equal(got[:], data[:]) {
+		t.Fatal("data not corrected")
+	}
+}
+
+func TestDataPositionsAreValid(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 64; i++ {
+		p := dataPos[i]
+		if p < 3 || p > 71 {
+			t.Fatalf("data bit %d at invalid position %d", i, p)
+		}
+		if p&(p-1) == 0 {
+			t.Fatalf("data bit %d at power-of-two position %d", i, p)
+		}
+		if seen[p] {
+			t.Fatalf("position %d reused", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestSidebandBudget(t *testing.T) {
+	// 8 words x 7 Hamming + 2 parity + 6 meta = exactly 64 sideband bits.
+	if 8*hammingBits+2+MetaBits != CheckBytes*8 {
+		t.Fatal("sideband layout does not fit the 8-byte ECC budget")
+	}
+	// Layout constants must not overlap.
+	if parityShift < 8*hammingBits || metaShift < parityShift+2 {
+		t.Fatal("sideband fields overlap")
+	}
+}
+
+func TestWideParityCoversCorrectHalves(t *testing.T) {
+	var data [LineBytes]byte
+	l := EncodeLine(&data, 0)
+	side := binary.LittleEndian.Uint64(l.Check[:])
+	// All-zero data: both parity bits clear.
+	if side>>parityShift&3 != 0 {
+		t.Fatal("zero data should have zero parity")
+	}
+	// One bit in the second half flips only the second parity bit.
+	data[40] = 1
+	l = EncodeLine(&data, 0)
+	side = binary.LittleEndian.Uint64(l.Check[:])
+	if side>>parityShift&1 != 0 || side>>(parityShift+1)&1 != 1 {
+		t.Fatalf("parity halves mapped wrong: %b", side>>parityShift&3)
+	}
+}

@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the
+// KV-Direct evaluation (paper §5) from this repository's implementations
+// and models. Each Fig*/Table* function returns one or more Tables whose
+// rows mirror the series the paper plots; cmd/kvdbench prints them and
+// bench_test.go wraps them in testing.B benchmarks.
+//
+// Experiments run at a configurable Scale: Quick keeps everything
+// CI-sized; Full uses larger memories and op counts for smoother curves.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one reproduced table or figure, as printable rows.
+type Table struct {
+	ID      string // e.g. "fig11a"
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// Add appends one formatted row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Scale sizes an experiment run.
+type Scale struct {
+	MemBytes   uint64 // simulated host KVS size per store
+	Ops        int    // measured operations per data point
+	MergeSlots int    // free slab slots for the Figure 12 merge
+	SimOps     int    // ops per timing-simulation point
+	Seed       int64
+}
+
+// Quick is the CI-sized scale (sub-second per figure).
+func Quick() Scale {
+	return Scale{MemBytes: 4 << 20, Ops: 4000, MergeSlots: 1 << 20, SimOps: 60000, Seed: 1}
+}
+
+// Full is the report-quality scale used by cmd/kvdbench.
+func Full() Scale {
+	return Scale{MemBytes: 64 << 20, Ops: 40000, MergeSlots: 40 << 20, SimOps: 400000, Seed: 1}
+}
+
+func f1(v float64) string   { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string   { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string   { return fmt.Sprintf("%.3f", v) }
+func mops(v float64) string { return fmt.Sprintf("%.1f", v/1e6) }
+func gbps(v float64) string { return fmt.Sprintf("%.2f", v/1e9) }
+func itoa(v int) string     { return fmt.Sprintf("%d", v) }

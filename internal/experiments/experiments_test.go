@@ -1,0 +1,526 @@
+package experiments
+
+import (
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// cell parses a numeric table cell; unreachable cells ("—") return ok=false.
+func cell(t *Table, row, col int) (float64, bool) {
+	s := t.Rows[row][col]
+	if s == "—" {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func mustCell(t *testing.T, tbl *Table, row, col int) float64 {
+	t.Helper()
+	v, ok := cell(tbl, row, col)
+	if !ok {
+		t.Fatalf("%s row %d col %d not numeric: %q", tbl.ID, row, col, tbl.Rows[row][col])
+	}
+	return v
+}
+
+func find(t *testing.T, tables []*Table, id string) *Table {
+	t.Helper()
+	for _, tbl := range tables {
+		if tbl.ID == id {
+			return tbl
+		}
+	}
+	t.Fatalf("table %q not produced", id)
+	return nil
+}
+
+func TestTableString(t *testing.T) {
+	tbl := &Table{ID: "x", Title: "T", Columns: []string{"a", "bb"}, Notes: "n"}
+	tbl.Add("1", "2")
+	s := tbl.String()
+	for _, want := range []string{"=== x: T ===", "a", "bb", "1", "2", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in rendered table:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig3", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17", "table2", "table3", "table4",
+		"scaling", "ablation"}
+	for _, name := range want {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("experiment %q missing from registry", name)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names/All length mismatch")
+	}
+}
+
+func TestFig3Claims(t *testing.T) {
+	tabs := Fig3(Quick())
+	a := find(t, tabs, "fig3a")
+	// 64 B row: read ~60 Mops (model), write ~87.
+	for ri := range a.Rows {
+		if a.Rows[ri][0] != "64" {
+			continue
+		}
+		read := mustCell(t, a, ri, 1)
+		write := mustCell(t, a, ri, 3)
+		if read < 55 || read > 65 {
+			t.Errorf("64 B read = %.1f Mops, want ~60", read)
+		}
+		if write < 80 || write > 92 {
+			t.Errorf("64 B write = %.1f Mops, want ~87", write)
+		}
+	}
+	b := find(t, tabs, "fig3b")
+	med := mustCell(t, b, 2, 1) // P50
+	if med < 900 || med > 1200 {
+		t.Errorf("median DMA latency = %.0f ns, want ~1000", med)
+	}
+}
+
+func TestFig6AccessesGrowWithUtilization(t *testing.T) {
+	tabs := Fig6(Quick())
+	tbl := tabs[0]
+	for col := 1; col <= 4; col++ {
+		prev := 0.0
+		for row := range tbl.Rows {
+			v, ok := cell(tbl, row, col)
+			if !ok {
+				continue
+			}
+			if v < prev-0.15 {
+				t.Errorf("fig6 col %d: accesses fell from %.2f to %.2f", col, prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig9InlineBeatsOfflineAtHighRatio(t *testing.T) {
+	tabs := Fig9(Quick())
+	a := find(t, tabs, "fig9a")
+	// At the highest ratio with both measurable, inline < offline.
+	for row := len(a.Rows) - 1; row >= 0; row-- {
+		in, ok1 := cell(a, row, 1)
+		off, ok2 := cell(a, row, 2)
+		if ok1 && ok2 {
+			if in >= off {
+				t.Errorf("ratio %s: inline %.2f >= offline %.2f", a.Rows[row][0], in, off)
+			}
+			return
+		}
+	}
+	t.Skip("no row with both cells measurable")
+}
+
+func TestFig10MaxUtilizationDecreasesWithRatio(t *testing.T) {
+	tbl := Fig10(Quick())[0]
+	prev := 2.0
+	for row := range tbl.Rows {
+		v := mustCell(t, tbl, row, 1)
+		if v > prev+0.01 {
+			t.Errorf("max utilization rose at ratio %s: %.3f > %.3f",
+				tbl.Rows[row][0], v, prev)
+		}
+		prev = v
+	}
+	// Accesses at max fall as ratio rises (fewer chained lookups).
+	first := mustCell(t, tbl, 0, 2)
+	last := mustCell(t, tbl, len(tbl.Rows)-1, 2)
+	if last >= first {
+		t.Errorf("accesses@max should fall with ratio: %.2f -> %.2f", first, last)
+	}
+}
+
+func TestFig11Claims(t *testing.T) {
+	tabs := Fig11(Quick())
+	get10 := find(t, tabs, "fig11-10b-GET")
+	put10 := find(t, tabs, "fig11-10b-PUT")
+
+	// KV-Direct: close to 1 access per GET and 2 per PUT at low
+	// utilization for inline KVs.
+	if v := mustCell(t, get10, 0, 1); v > 1.2 {
+		t.Errorf("KVD 10B GET at low util = %.2f, want ~1", v)
+	}
+	if v := mustCell(t, put10, 0, 1); v > 2.3 {
+		t.Errorf("KVD 10B PUT at low util = %.2f, want ~2", v)
+	}
+	// KV-Direct beats both baselines on GET for inline KVs.
+	kvd := mustCell(t, get10, 1, 1)
+	ck, okC := cell(get10, 1, 2)
+	hs, okH := cell(get10, 1, 3)
+	if okC && kvd >= ck {
+		t.Errorf("KVD GET %.2f should beat cuckoo %.2f", kvd, ck)
+	}
+	if okH && kvd >= hs {
+		t.Errorf("KVD GET %.2f should beat hopscotch %.2f", kvd, hs)
+	}
+	// Rightmost utilizations only reachable by KV-Direct (small KVs).
+	lastRow := len(get10.Rows) - 1
+	if _, ok := cell(get10, lastRow, 1); !ok {
+		t.Error("KVD should reach the highest 10B utilization")
+	}
+	if _, ok := cell(get10, lastRow, 2); ok {
+		t.Error("cuckoo should NOT reach the highest 10B utilization")
+	}
+	if _, ok := cell(get10, lastRow, 3); ok {
+		t.Error("hopscotch should NOT reach the highest 10B utilization")
+	}
+	// 252 B: hopscotch GET is competitive (its strength), KVD PUT beats
+	// both baselines.
+	put252 := find(t, tabs, "fig11-252b-PUT")
+	last := len(put252.Rows) - 1
+	kvdPut := mustCell(t, put252, last, 1)
+	ckPut, _ := cell(put252, last, 2)
+	hsPut, _ := cell(put252, last, 3)
+	if kvdPut >= ckPut || kvdPut >= hsPut {
+		t.Errorf("KVD 252B PUT %.2f should beat cuckoo %.2f and hopscotch %.2f",
+			kvdPut, ckPut, hsPut)
+	}
+}
+
+func TestFig12BothAlgorithmsAgree(t *testing.T) {
+	tbl := Fig12(Quick())[0]
+	merged := tbl.Rows[0][3]
+	for _, row := range tbl.Rows[1:] {
+		if row[3] != merged {
+			t.Errorf("radix (%s pairs) and bitmap (%s pairs) disagree", row[3], merged)
+		}
+	}
+}
+
+func TestFig13Claims(t *testing.T) {
+	tabs := Fig13(Quick())
+	a := find(t, tabs, "fig13a")
+	// Single-key row: OoO ~180, no-OoO ~1, improvement >100x.
+	oooV := mustCell(t, a, 0, 1)
+	stall := mustCell(t, a, 0, 2)
+	if oooV < 170 {
+		t.Errorf("single-key OoO = %.1f Mops, want ~180", oooV)
+	}
+	if stall > 1.2 {
+		t.Errorf("single-key stall = %.1f Mops, want ~1", stall)
+	}
+	if oooV/stall < 100 {
+		t.Errorf("OoO improvement = %.0fx, want >100x (paper: 191x)", oooV/stall)
+	}
+	// KV-Direct atomics outperform the RDMA baselines at every key count.
+	for row := range a.Rows {
+		if mustCell(t, a, row, 1) < mustCell(t, a, row, 3) {
+			t.Errorf("row %d: OoO below one-sided RDMA", row)
+		}
+	}
+
+	b := find(t, tabs, "fig13b")
+	// OoO stays near clock for all PUT ratios; stall collapses.
+	for row := range b.Rows {
+		if v := mustCell(t, b, row, 1); v < 170 {
+			t.Errorf("OoO long-tail at %s%% PUT = %.1f Mops", b.Rows[row][0], v)
+		}
+	}
+	stall0 := mustCell(t, b, 0, 2)
+	stall100 := mustCell(t, b, len(b.Rows)-1, 2)
+	if stall100 >= stall0 {
+		t.Error("stall throughput should fall with PUT ratio")
+	}
+}
+
+func TestFig14Claims(t *testing.T) {
+	tbl := Fig14(Quick())[0]
+	for row := range tbl.Rows {
+		base := mustCell(t, tbl, row, 1)
+		uniform := mustCell(t, tbl, row, 2)
+		longtail := mustCell(t, tbl, row, 3)
+		if longtail <= base {
+			t.Errorf("row %d: long-tail dispatch %.1f <= baseline %.1f", row, longtail, base)
+		}
+		if longtail < uniform {
+			t.Errorf("row %d: long-tail %.1f < uniform %.1f", row, longtail, uniform)
+		}
+	}
+	// Read-intensive long-tail reaches the clock bound.
+	if v := mustCell(t, tbl, 2, 3); v < 175 {
+		t.Errorf("100%% GET long-tail = %.1f Mops, want 180", v)
+	}
+}
+
+func TestFig15BatchingGains(t *testing.T) {
+	tabs := Fig15(Quick())
+	a := find(t, tabs, "fig15a")
+	for row := range a.Rows {
+		if gain := mustCell(t, a, row, 3); gain < 1.0 {
+			t.Errorf("batching gain < 1 at %s B", a.Rows[row][0])
+		}
+	}
+	// Small KVs gain the most.
+	if mustCell(t, a, 0, 3) <= mustCell(t, a, len(a.Rows)-1, 3) {
+		t.Error("batching gain should shrink with KV size")
+	}
+	b := find(t, tabs, "fig15b")
+	for row := range b.Rows {
+		if lat := mustCell(t, b, row, 2); lat > 3.5 {
+			t.Errorf("batched latency %.2f us > 3.5 at %s B", lat, b.Rows[row][0])
+		}
+	}
+}
+
+func TestFig16Claims(t *testing.T) {
+	tabs := Fig16(Quick())
+	uni := find(t, tabs, "fig16a")
+	lt := find(t, tabs, "fig16b")
+	for row := range uni.Rows {
+		// Long-tail >= uniform for every size and mix.
+		for col := 1; col <= 4; col++ {
+			u := mustCell(t, uni, row, col)
+			l := mustCell(t, lt, row, col)
+			if l < u-0.5 {
+				t.Errorf("row %d col %d: long-tail %.1f < uniform %.1f", row, col, l, u)
+			}
+		}
+		// GET-heavy >= PUT-heavy.
+		if mustCell(t, uni, row, 1) < mustCell(t, uni, row, 4)-0.5 {
+			t.Errorf("row %d: 100%% GET below 100%% PUT", row)
+		}
+	}
+	// Long-tail tiny-KV GETs approach the clock bound; big KVs are
+	// network-bound and much slower.
+	small := mustCell(t, lt, 0, 1)
+	big := mustCell(t, lt, len(lt.Rows)-1, 1)
+	if small < 120 {
+		t.Errorf("long-tail 5B GET = %.1f Mops, want >= 120", small)
+	}
+	if big > 40 {
+		t.Errorf("252B GET = %.1f Mops, should be network-bound (< 40)", big)
+	}
+}
+
+func TestFig17Claims(t *testing.T) {
+	tabs := Fig17(Quick())
+	batched := find(t, tabs, "fig17a")
+	plain := find(t, tabs, "fig17b")
+	for row := range plain.Rows {
+		// Tail latency in the paper's 3-9 us ballpark (allow up to 12).
+		for col := 1; col <= 5; col++ {
+			v := mustCell(t, plain, row, col)
+			if v < 2 || v > 12 {
+				t.Errorf("non-batched latency %.2f us out of range", v)
+			}
+		}
+		// Batching adds < 1 us.
+		extra := mustCell(t, batched, row, 2) - mustCell(t, plain, row, 2)
+		if extra > 1.0 {
+			t.Errorf("batching adds %.2f us at %s B, want < 1", extra, plain.Rows[row][0])
+		}
+		// Skewed GETs no slower than uniform.
+		if mustCell(t, plain, row, 3) > mustCell(t, plain, row, 2)+0.3 {
+			t.Errorf("row %d: skewed GET slower than uniform", row)
+		}
+		// PUT slower than GET.
+		if mustCell(t, plain, row, 4) < mustCell(t, plain, row, 2) {
+			t.Errorf("row %d: PUT faster than GET", row)
+		}
+	}
+}
+
+func TestTable2VectorUpdateWins(t *testing.T) {
+	tbl := Table2(Quick())[0]
+	for row := range tbl.Rows {
+		noRet := mustCell(t, tbl, row, 2)
+		oneKey := mustCell(t, tbl, row, 3)
+		fetch := mustCell(t, tbl, row, 4)
+		if noRet < oneKey || noRet < fetch {
+			t.Errorf("row %d: vector update (%.2f) should beat alternatives (%.2f, %.2f)",
+				row, noRet, oneKey, fetch)
+		}
+	}
+}
+
+func TestTable3KVDirectLeadsEfficiency(t *testing.T) {
+	tbl := Table3(Quick())[0]
+	var kvdEff float64
+	bestOther := 0.0
+	for _, row := range tbl.Rows {
+		eff, _ := strconv.ParseFloat(strings.Fields(row[3])[0], 64)
+		if strings.HasPrefix(row[0], "KV-Direct (1 NIC)") {
+			kvdEff = eff
+		} else if !strings.HasPrefix(row[0], "KV-Direct") && eff > bestOther {
+			bestOther = eff
+		}
+	}
+	if kvdEff < 3*bestOther {
+		t.Errorf("KV-Direct efficiency %.0f should be >= 3x best other %.0f (paper: 3x)",
+			kvdEff, bestOther)
+	}
+}
+
+func TestTable4MinimalImpact(t *testing.T) {
+	tbl := Table4(Quick())[0]
+	for _, row := range tbl.Rows {
+		deg := strings.Trim(row[3], "+-%")
+		v, err := strconv.ParseFloat(deg, 64)
+		if err != nil {
+			t.Fatalf("bad degradation cell %q", row[3])
+		}
+		if v > 15 {
+			t.Errorf("%s degraded %.1f%%, paper reports minimal impact", row[0], v)
+		}
+	}
+}
+
+func TestScalingReaches1220Mops(t *testing.T) {
+	tbl := Scaling(Quick())[0]
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if last[0] != "10" {
+		t.Fatalf("last row is %s NICs", last[0])
+	}
+	v, _ := strconv.ParseFloat(last[1], 64)
+	if v < 1.1 || v > 1.3 {
+		t.Errorf("10-NIC throughput = %.2f Gops, want ~1.22", v)
+	}
+	eff, _ := strconv.ParseFloat(last[2], 64)
+	if eff < 0.95 {
+		t.Errorf("10-NIC scaling efficiency = %.2f, want near-linear", eff)
+	}
+}
+
+func TestAllExperimentsRunAtQuickScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range All() {
+		tabs := e.Run(Quick())
+		if len(tabs) == 0 {
+			t.Errorf("%s produced no tables", e.Name)
+		}
+		for _, tbl := range tabs {
+			if len(tbl.Rows) == 0 {
+				t.Errorf("%s/%s has no rows", e.Name, tbl.ID)
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Columns) {
+					t.Errorf("%s/%s row width %d != %d columns",
+						e.Name, tbl.ID, len(row), len(tbl.Columns))
+				}
+			}
+		}
+	}
+}
+
+func TestAblationFullDesignWins(t *testing.T) {
+	tbl := Ablations(Quick())[0]
+	if tbl.Rows[0][0] != "full design" {
+		t.Fatal("first row should be the full design")
+	}
+	full := mustCell(t, tbl, 0, 4)
+	for row := 1; row < len(tbl.Rows); row++ {
+		if v := mustCell(t, tbl, row, 4); v >= full {
+			t.Errorf("%s (%.1f Mops) should be below the full design (%.1f)",
+				tbl.Rows[row][0], v, full)
+		}
+	}
+	// The dispatch ablation must show zero NIC DRAM traffic.
+	for row := range tbl.Rows {
+		if tbl.Rows[row][0] == "no DRAM load dispatch" {
+			if v := mustCell(t, tbl, row, 2); v != 0 {
+				t.Errorf("no-dispatch row has DRAM traffic %.2f", v)
+			}
+		}
+		if tbl.Rows[row][0] == "no out-of-order execution" {
+			if v := mustCell(t, tbl, row, 3); v != 0 {
+				t.Errorf("no-OoO row has merge ratio %.2f", v)
+			}
+		}
+	}
+}
+
+func TestSysSimAgreesWithAnalyticModel(t *testing.T) {
+	tbl := SysSim(Quick())[0]
+	for row := range tbl.Rows {
+		name := tbl.Rows[row][0]
+		analytic := mustCell(t, tbl, row, 1)
+		simulated := mustCell(t, tbl, row, 2)
+		ratio := simulated / analytic
+		// Uniform rows agree tightly (no forwarding ambiguity); long-tail
+		// rows may diverge upward because the simulator merges hot keys
+		// beyond what the measured averages capture.
+		lo, hi := 0.85, 1.2
+		if strings.Contains(name, "long-tail") {
+			lo, hi = 0.85, 1.6
+		}
+		if ratio < lo || ratio > hi {
+			t.Errorf("%s: sim/analytic = %.2f (%.1f vs %.1f Mops), want [%.2f,%.2f]",
+				name, ratio, simulated, analytic, lo, hi)
+		}
+		// Peak-load latency in single-digit-to-low-teens microseconds.
+		p95 := mustCell(t, tbl, row, 4)
+		if p95 < 2 || p95 > 25 {
+			t.Errorf("%s: P95 = %.1f us implausible", name, p95)
+		}
+	}
+}
+
+func TestDesignDocIndexMatchesRegistry(t *testing.T) {
+	// Every `kvdbench <name>` mention in DESIGN.md must be a registered
+	// experiment, and every registered experiment must be mentioned —
+	// a guard against doc drift.
+	data, err := os.ReadFile("../../DESIGN.md")
+	if err != nil {
+		t.Skipf("DESIGN.md not readable: %v", err)
+	}
+	doc := string(data)
+	re := regexp.MustCompile("`kvdbench ([a-z0-9]+)`")
+	mentioned := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(doc, -1) {
+		mentioned[m[1]] = true
+	}
+	for _, e := range All() {
+		if e.Name == "syssim" && !mentioned[e.Name] {
+			// syssim appears in the index table; tolerate either form.
+			if !strings.Contains(doc, "kvdbench syssim") && !strings.Contains(doc, "syssim") {
+				t.Errorf("experiment %q not mentioned in DESIGN.md", e.Name)
+			}
+			continue
+		}
+		if !mentioned[e.Name] && !strings.Contains(doc, e.Name) {
+			t.Errorf("experiment %q not mentioned in DESIGN.md", e.Name)
+		}
+	}
+	for name := range mentioned {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("DESIGN.md mentions unknown experiment %q", name)
+		}
+	}
+}
+
+func TestKeyClaimsRobustAcrossSeeds(t *testing.T) {
+	// The headline claims must not be artifacts of the default seed.
+	for _, seed := range []int64{2, 7} {
+		sc := Quick()
+		sc.Seed = seed
+		get10 := find(t, Fig11(sc), "fig11-10b-GET")
+		if v := mustCell(t, get10, 0, 1); v > 1.25 {
+			t.Errorf("seed %d: KVD 10B GET = %.2f, want ~1", seed, v)
+		}
+		a := find(t, Fig13(sc), "fig13a")
+		oooV := mustCell(t, a, 0, 1)
+		stall := mustCell(t, a, 0, 2)
+		if oooV/stall < 100 {
+			t.Errorf("seed %d: OoO improvement %.0fx", seed, oooV/stall)
+		}
+	}
+}

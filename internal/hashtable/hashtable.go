@@ -1,0 +1,738 @@
+// Package hashtable implements the KV-Direct hash index (paper §3.3.1,
+// Figure 5): a fixed array of 64-byte hash buckets, each holding 10
+// five-byte hash slots (31-bit pointer + 9-bit secondary hash), 3 bits of
+// slab type per slot, bitmaps marking inline KV pairs, and a pointer to
+// the next chained bucket on collision.
+//
+// Small KVs are stored inline in the hash index, spanning one or more hash
+// slots, to save the extra memory access for fetching KV data. Larger KVs
+// live in dynamically allocated slab memory, addressed by a slot pointer
+// at 32-byte granularity; the slot's slab-type bits tell the KV processor
+// how many bytes to fetch in a single DMA. Values too large for one slab
+// chain across 512-byte slabs.
+//
+// Chaining resolves hash collisions (chosen over cuckoo/hopscotch to
+// balance GET and PUT cost and stay robust to hash clustering); chained
+// buckets are allocated from the slab region.
+//
+// All table state lives in a memory.Engine, so every DMA the hardware
+// would issue is counted by the underlying simulated memory — the
+// measurements behind Figures 6, 9, 10 and 11.
+package hashtable
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"kvdirect/internal/memory"
+	"kvdirect/internal/slab"
+)
+
+// Bucket geometry (Figure 5).
+const (
+	BucketBytes    = 64
+	SlotsPerBucket = 10
+	SlotBytes      = 5
+
+	slotArea = SlotsPerBucket * SlotBytes // bytes 0..49: slot storage
+	offTypes = 50                         // u32: 3 type bits per slot (30 bits)
+	offStart = 54                         // u16: inline-entry start bitmap
+	offOcc   = 56                         // u16: slot occupancy bitmap
+	offChain = 58                         // u32: chained-bucket granule + 1
+
+	// MaxInlineData is the most bytes one bucket can hold inline
+	// (2-byte header + key + value across all 10 slots).
+	MaxInlineData = slotArea
+
+	ptrBits     = 31 // slot pointer width (32 B granules)
+	sechashBits = 9  // secondary hash width (1/512 false positives)
+	sechashMask = (1 << sechashBits) - 1
+
+	ptrGranule = 32 // slot pointers address 32 B granules
+
+	// Non-inline KV data layout: [klen u16][vlen u16][key][value...].
+	dataHeader = 4
+	// Chained value slabs reserve a trailing next-pointer.
+	chainPtrBytes = 4
+	chunkPayload  = slab.MaxSlab - chainPtrBytes // 508 B per chained slab
+)
+
+// Limits.
+const (
+	MaxKeyLen   = 255
+	MaxValueLen = 64 << 10 // header stores vlen as u16; capped below 65536
+)
+
+// Errors returned by table operations.
+var (
+	ErrFull          = errors.New("hashtable: table full")
+	ErrKeyTooLarge   = errors.New("hashtable: key exceeds 255 bytes")
+	ErrValueTooLarge = errors.New("hashtable: value exceeds 64 KiB - 1")
+	ErrEmptyKey      = errors.New("hashtable: empty key")
+)
+
+// Config parameterizes a Table.
+type Config struct {
+	// Index is the hash-index partition (a whole number of 64 B buckets).
+	Index memory.Partition
+	// InlineThreshold is the maximum key+value size stored inline in the
+	// hash index. 0 disables inlining entirely ("offline" in Figure 9).
+	// Values above MaxInlineData-2 are clamped.
+	InlineThreshold int
+	// Seed perturbs the hash function (deterministic experiments use
+	// distinct seeds per trial).
+	Seed uint64
+}
+
+// Table is the KV-Direct hash index over a memory engine plus slab
+// allocator. It is not safe for concurrent use: the KV processor's
+// out-of-order engine guarantees no two operations on the same key are in
+// the pipeline simultaneously, and the pipeline itself serializes
+// memory-engine access.
+type Table struct {
+	eng   memory.Engine
+	alloc *slab.Allocator
+	cfg   Config
+
+	numBuckets uint64
+
+	// Occupancy metrics.
+	numKeys      uint64
+	payloadBytes uint64 // sum of key+value sizes currently stored
+	chainBuckets uint64 // chained buckets currently allocated
+}
+
+// New creates a table. The index partition must hold at least one bucket.
+func New(eng memory.Engine, alloc *slab.Allocator, cfg Config) (*Table, error) {
+	if cfg.Index.Size/BucketBytes == 0 {
+		return nil, fmt.Errorf("hashtable: index partition too small (%d B)", cfg.Index.Size)
+	}
+	if cfg.InlineThreshold > MaxInlineData-2 {
+		cfg.InlineThreshold = MaxInlineData - 2
+	}
+	return &Table{
+		eng:        eng,
+		alloc:      alloc,
+		cfg:        cfg,
+		numBuckets: cfg.Index.Size / BucketBytes,
+	}, nil
+}
+
+// NumKeys returns the number of stored KV pairs.
+func (t *Table) NumKeys() uint64 { return t.numKeys }
+
+// PayloadBytes returns the total key+value bytes currently stored.
+func (t *Table) PayloadBytes() uint64 { return t.payloadBytes }
+
+// ChainBuckets returns the number of chained overflow buckets in use.
+func (t *Table) ChainBuckets() uint64 { return t.chainBuckets }
+
+// NumBuckets returns the number of primary hash buckets.
+func (t *Table) NumBuckets() uint64 { return t.numBuckets }
+
+// Utilization returns payload bytes over the given total memory size —
+// the paper's memory-utilization metric.
+func (t *Table) Utilization(totalBytes uint64) float64 {
+	if totalBytes == 0 {
+		return 0
+	}
+	return float64(t.payloadBytes) / float64(totalBytes)
+}
+
+// --- hashing ---
+
+func (t *Table) hash(key []byte) uint64 {
+	// FNV-1a 64 with seed folding, then a finalizing mix.
+	h := uint64(14695981039346656037) ^ t.cfg.Seed
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xFF51AFD7ED558CCD
+	h ^= h >> 33
+	return h
+}
+
+func (t *Table) bucketIndex(h uint64) uint64 { return h % t.numBuckets }
+
+func sechash(h uint64) uint16 { return uint16((h >> 48) & sechashMask) }
+
+// --- bucket view ---
+
+// bkt is one bucket loaded into the KV processor, plus dirtiness tracking
+// so each mutated bucket costs exactly one DMA write per operation.
+type bkt struct {
+	addr  uint64
+	raw   [BucketBytes]byte
+	dirty bool
+}
+
+func (t *Table) loadBucket(addr uint64) *bkt {
+	b := &bkt{addr: addr}
+	t.eng.Read(addr, b.raw[:])
+	return b
+}
+
+func (t *Table) flush(bs []*bkt) {
+	for _, b := range bs {
+		if b.dirty {
+			t.eng.Write(b.addr, b.raw[:])
+			b.dirty = false
+		}
+	}
+}
+
+func (b *bkt) occ() uint16     { return binary.LittleEndian.Uint16(b.raw[offOcc:]) }
+func (b *bkt) starts() uint16  { return binary.LittleEndian.Uint16(b.raw[offStart:]) }
+func (b *bkt) setOcc(v uint16) { binary.LittleEndian.PutUint16(b.raw[offOcc:], v) }
+func (b *bkt) setStarts(v uint16) {
+	binary.LittleEndian.PutUint16(b.raw[offStart:], v)
+}
+
+func (b *bkt) occupied(i int) bool { return b.occ()&(1<<i) != 0 }
+func (b *bkt) isStart(i int) bool  { return b.starts()&(1<<i) != 0 }
+
+func (b *bkt) setOccupied(i int, v bool) {
+	o := b.occ()
+	if v {
+		o |= 1 << i
+	} else {
+		o &^= 1 << i
+	}
+	b.setOcc(o)
+}
+
+func (b *bkt) setStart(i int, v bool) {
+	s := b.starts()
+	if v {
+		s |= 1 << i
+	} else {
+		s &^= 1 << i
+	}
+	b.setStarts(s)
+}
+
+func (b *bkt) typ(i int) uint8 {
+	v := binary.LittleEndian.Uint32(b.raw[offTypes:])
+	return uint8(v >> (3 * i) & 0x7)
+}
+
+func (b *bkt) setTyp(i int, c uint8) {
+	v := binary.LittleEndian.Uint32(b.raw[offTypes:])
+	v &^= 0x7 << (3 * i)
+	v |= uint32(c&0x7) << (3 * i)
+	binary.LittleEndian.PutUint32(b.raw[offTypes:], v)
+}
+
+func (b *bkt) chain() uint32 { return binary.LittleEndian.Uint32(b.raw[offChain:]) }
+func (b *bkt) setChain(v uint32) {
+	binary.LittleEndian.PutUint32(b.raw[offChain:], v)
+}
+
+// slotPtr decodes slot i's (granule pointer, secondary hash).
+func (b *bkt) slotPtr(i int) (ptr uint64, sh uint16) {
+	var v uint64
+	for j := 0; j < SlotBytes; j++ {
+		v |= uint64(b.raw[i*SlotBytes+j]) << (8 * j)
+	}
+	return v & ((1 << ptrBits) - 1), uint16(v >> ptrBits & sechashMask)
+}
+
+func (b *bkt) setSlotPtr(i int, ptr uint64, sh uint16) {
+	v := ptr&((1<<ptrBits)-1) | uint64(sh&sechashMask)<<ptrBits
+	for j := 0; j < SlotBytes; j++ {
+		b.raw[i*SlotBytes+j] = byte(v >> (8 * j))
+	}
+}
+
+// inlineSlots returns how many slots an inline entry of k+v payload needs.
+func inlineSlots(kv int) int { return (2 + kv + SlotBytes - 1) / SlotBytes }
+
+// entryRef locates a stored entry during a chain walk.
+type entryRef struct {
+	b      *bkt
+	slot   int
+	inline bool
+	nslots int // inline: slots spanned
+	klen   int
+	vlen   int
+	ptr    uint64 // non-inline: data address
+	class  uint8  // non-inline: slab class of the first chunk
+	value  []byte // decoded value
+}
+
+// iterate walks bucket b's entries, calling fn for each; fn returns true
+// to stop. Continuation slots of inline entries are skipped.
+func (b *bkt) iterate(fn func(slot int, inline bool) bool) {
+	for i := 0; i < SlotsPerBucket; {
+		if !b.occupied(i) {
+			i++
+			continue
+		}
+		if b.isStart(i) {
+			klen := int(b.raw[i*SlotBytes])
+			vlen := int(b.raw[i*SlotBytes+1])
+			n := inlineSlots(klen + vlen)
+			if fn(i, true) {
+				return
+			}
+			i += n
+		} else {
+			if fn(i, false) {
+				return
+			}
+			i++
+		}
+	}
+}
+
+// inlineEntry decodes the inline entry starting at slot i.
+func (b *bkt) inlineEntry(i int) (key, value []byte, nslots int) {
+	klen := int(b.raw[i*SlotBytes])
+	vlen := int(b.raw[i*SlotBytes+1])
+	base := i*SlotBytes + 2
+	return b.raw[base : base+klen], b.raw[base+klen : base+klen+vlen], inlineSlots(klen + vlen)
+}
+
+// --- chain walking ---
+
+// chainAddr converts a chain field to a bucket address (0 = none).
+func chainAddr(c uint32) (uint64, bool) {
+	if c == 0 {
+		return 0, false
+	}
+	return uint64(c-1) * BucketBytes, true
+}
+
+func chainField(addr uint64) uint32 { return uint32(addr/BucketBytes) + 1 }
+
+// walk loads the bucket chain for hash h, returning all buckets.
+func (t *Table) walk(h uint64) []*bkt {
+	addr := t.cfg.Index.Base + t.bucketIndex(h)*BucketBytes
+	bs := []*bkt{t.loadBucket(addr)}
+	for {
+		c, ok := chainAddr(bs[len(bs)-1].chain())
+		if !ok {
+			return bs
+		}
+		bs = append(bs, t.loadBucket(c))
+	}
+}
+
+// find searches the loaded chain for key, reading slab data to verify
+// candidates whose secondary hash matches (the key is always checked to
+// ensure correctness, at the cost of one additional memory access on the
+// 1/512 false positives).
+func (t *Table) find(bs []*bkt, key []byte, sh uint16) (entryRef, bool) {
+	var ref entryRef
+	found := false
+	for _, b := range bs {
+		b := b
+		b.iterate(func(slot int, inline bool) bool {
+			if inline {
+				k, v, n := b.inlineEntry(slot)
+				if bytes.Equal(k, key) {
+					ref = entryRef{b: b, slot: slot, inline: true, nslots: n,
+						klen: len(k), vlen: len(v), value: append([]byte(nil), v...)}
+					found = true
+					return true
+				}
+				return false
+			}
+			ptr, slotSH := b.slotPtr(slot)
+			if slotSH != sh {
+				return false
+			}
+			addr := ptr * ptrGranule
+			class := b.typ(slot)
+			k, v, ok := t.readData(addr, class)
+			if !ok || !bytes.Equal(k, key) {
+				return false // secondary-hash false positive
+			}
+			ref = entryRef{b: b, slot: slot, inline: false,
+				klen: len(k), vlen: len(v), ptr: addr, class: class, value: v}
+			found = true
+			return true
+		})
+		if found {
+			return ref, true
+		}
+	}
+	return entryRef{}, false
+}
+
+// --- slab data encoding ---
+
+// dataFootprint returns the slab chunks needed for a k+v payload: the
+// class of the first chunk and the number of 512 B continuation chunks.
+func dataFootprint(klen, vlen int) (class uint8, chunks int) {
+	total := dataHeader + klen + vlen
+	if total <= slab.MaxSlab {
+		c, _ := slab.ClassFor(total)
+		return uint8(c), 1
+	}
+	// Chained: every chunk is a 512 B slab with a trailing next pointer
+	// (the last chunk's pointer is zero).
+	n := (total + chunkPayload - 1) / chunkPayload
+	return uint8(slab.NumClasses - 1), n
+}
+
+// writeData allocates and writes [klen][vlen][key][value], returning the
+// address of the first chunk. On allocation failure it frees partial
+// chunks and reports ErrFull.
+func (t *Table) writeData(key, value []byte) (uint64, uint8, error) {
+	class, chunks := dataFootprint(len(key), len(value))
+	payload := make([]byte, dataHeader+len(key)+len(value))
+	binary.LittleEndian.PutUint16(payload[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(payload[2:], uint16(len(value)))
+	copy(payload[dataHeader:], key)
+	copy(payload[dataHeader+len(key):], value)
+
+	if chunks == 1 {
+		addr, err := t.alloc.Alloc(len(payload))
+		if err != nil {
+			return 0, 0, ErrFull
+		}
+		t.eng.Write(addr, payload)
+		return addr, class, nil
+	}
+
+	addrs := make([]uint64, chunks)
+	for i := range addrs {
+		a, err := t.alloc.Alloc(slab.MaxSlab)
+		if err != nil {
+			for _, done := range addrs[:i] {
+				t.alloc.Free(done, slab.MaxSlab)
+			}
+			return 0, 0, ErrFull
+		}
+		addrs[i] = a
+	}
+	off := 0
+	for i, a := range addrs {
+		chunk := make([]byte, slab.MaxSlab)
+		n := copy(chunk[:chunkPayload], payload[off:])
+		off += n
+		next := uint32(0)
+		if i+1 < chunks {
+			next = uint32(addrs[i+1]/ptrGranule) + 1
+		}
+		binary.LittleEndian.PutUint32(chunk[chunkPayload:], next)
+		t.eng.Write(a, chunk)
+	}
+	return addrs[0], class, nil
+}
+
+// readData reads the KV data starting at addr with the given first-chunk
+// class, following the chunk chain for large values. One DMA per chunk.
+func (t *Table) readData(addr uint64, class uint8) (key, value []byte, ok bool) {
+	if int(class) >= slab.NumClasses {
+		return nil, nil, false
+	}
+	first := make([]byte, slab.Sizes[class])
+	t.eng.Read(addr, first)
+	klen := int(binary.LittleEndian.Uint16(first[0:]))
+	vlen := int(binary.LittleEndian.Uint16(first[2:]))
+	total := dataHeader + klen + vlen
+	if total <= slab.Sizes[class] {
+		return first[dataHeader : dataHeader+klen], first[dataHeader+klen : total], true
+	}
+	if slab.Sizes[class] != slab.MaxSlab {
+		return nil, nil, false // corrupt: chained data must use 512 B chunks
+	}
+	payload := make([]byte, 0, total)
+	payload = append(payload, first[:chunkPayload]...)
+	next := binary.LittleEndian.Uint32(first[chunkPayload:])
+	for len(payload) < total && next != 0 {
+		chunk := make([]byte, slab.MaxSlab)
+		t.eng.Read(uint64(next-1)*ptrGranule, chunk)
+		payload = append(payload, chunk[:chunkPayload]...)
+		next = binary.LittleEndian.Uint32(chunk[chunkPayload:])
+	}
+	if len(payload) < total {
+		return nil, nil, false
+	}
+	return payload[dataHeader : dataHeader+klen], payload[dataHeader+klen : total], true
+}
+
+// freeData releases the chunk chain starting at addr.
+func (t *Table) freeData(addr uint64, class uint8, klen, vlen int) {
+	_, chunks := dataFootprint(klen, vlen)
+	if chunks == 1 {
+		t.alloc.Free(addr, dataHeader+klen+vlen)
+		return
+	}
+	for i := 0; i < chunks; i++ {
+		var next uint32
+		if i+1 < chunks {
+			var tail [chainPtrBytes]byte
+			t.eng.Read(addr+chunkPayload, tail[:])
+			next = binary.LittleEndian.Uint32(tail[:])
+		}
+		t.alloc.Free(addr, slab.MaxSlab)
+		if next == 0 {
+			break
+		}
+		addr = uint64(next-1) * ptrGranule
+	}
+}
+
+// --- public operations ---
+
+func validate(key, value []byte) error {
+	if len(key) == 0 {
+		return ErrEmptyKey
+	}
+	if len(key) > MaxKeyLen {
+		return ErrKeyTooLarge
+	}
+	if len(value) >= MaxValueLen {
+		return ErrValueTooLarge
+	}
+	return nil
+}
+
+// Get returns the value for key.
+func (t *Table) Get(key []byte) ([]byte, bool) {
+	if validate(key, nil) != nil {
+		return nil, false
+	}
+	h := t.hash(key)
+	bs := t.walk(h)
+	ref, ok := t.find(bs, key, sechash(h))
+	if !ok {
+		return nil, false
+	}
+	return ref.value, true
+}
+
+// inlineOK reports whether a k+v payload should be stored inline.
+func (t *Table) inlineOK(kv int) bool {
+	return kv <= t.cfg.InlineThreshold && 2+kv <= MaxInlineData
+}
+
+// Put inserts or replaces key's value.
+func (t *Table) Put(key, value []byte) error {
+	if err := validate(key, value); err != nil {
+		return err
+	}
+	h := t.hash(key)
+	sh := sechash(h)
+	bs := t.walk(h)
+	ref, exists := t.find(bs, key, sh)
+
+	if exists {
+		if err := t.update(bs, ref, key, value, sh); err != nil {
+			return err // old entry intact on failure
+		}
+		t.payloadBytes += uint64(len(key) + len(value))
+		t.payloadBytes -= uint64(ref.klen + ref.vlen)
+	} else {
+		if err := t.insert(bs, key, value, sh); err != nil {
+			return err
+		}
+		t.numKeys++
+		t.payloadBytes += uint64(len(key) + len(value))
+	}
+	t.flush(bs)
+	return nil
+}
+
+// update overwrites an existing entry, in place when the footprint allows.
+// On a footprint change the new entry is inserted before the old one is
+// removed, so a failed insert (table full) leaves the old value intact.
+func (t *Table) update(bs []*bkt, ref entryRef, key, value []byte, sh uint16) error {
+	kv := len(key) + len(value)
+	if ref.inline && t.inlineOK(kv) && inlineSlots(kv) == ref.nslots {
+		writeInline(ref.b, ref.slot, key, value)
+		ref.b.dirty = true
+		return nil
+	}
+	if !ref.inline && !t.inlineOK(kv) {
+		oldClass, oldChunks := dataFootprint(ref.klen, ref.vlen)
+		newClass, newChunks := dataFootprint(len(key), len(value))
+		if oldClass == newClass && oldChunks == newChunks {
+			// Same footprint: rewrite the data chunks in place, bucket
+			// untouched (pointer, class and secondary hash unchanged).
+			return t.rewriteData(ref.ptr, oldClass, key, value)
+		}
+	}
+	// Footprint change: place the new entry first, then remove the old.
+	if err := t.insert(bs, key, value, sh); err != nil {
+		return err
+	}
+	if ref.inline {
+		clearInline(ref.b, ref.slot, ref.nslots)
+	} else {
+		t.freeData(ref.ptr, ref.class, ref.klen, ref.vlen)
+		ref.b.setOccupied(ref.slot, false)
+		ref.b.setTyp(ref.slot, 0)
+	}
+	ref.b.dirty = true
+	return nil
+}
+
+// rewriteData overwrites an existing same-footprint chunk chain.
+func (t *Table) rewriteData(addr uint64, class uint8, key, value []byte) error {
+	total := dataHeader + len(key) + len(value)
+	payload := make([]byte, total)
+	binary.LittleEndian.PutUint16(payload[0:], uint16(len(key)))
+	binary.LittleEndian.PutUint16(payload[2:], uint16(len(value)))
+	copy(payload[dataHeader:], key)
+	copy(payload[dataHeader+len(key):], value)
+
+	if total <= slab.MaxSlab {
+		t.eng.Write(addr, payload)
+		return nil
+	}
+	off := 0
+	for {
+		var tail [chainPtrBytes]byte
+		t.eng.Read(addr+chunkPayload, tail[:])
+		next := binary.LittleEndian.Uint32(tail[:])
+		chunk := make([]byte, slab.MaxSlab)
+		n := copy(chunk[:chunkPayload], payload[off:])
+		off += n
+		binary.LittleEndian.PutUint32(chunk[chunkPayload:], next)
+		t.eng.Write(addr, chunk)
+		if next == 0 || off >= total {
+			return nil
+		}
+		addr = uint64(next-1) * ptrGranule
+	}
+}
+
+// insert places a new entry somewhere in the chain, extending it with a
+// freshly allocated bucket if necessary.
+func (t *Table) insert(bs []*bkt, key, value []byte, sh uint16) error {
+	kv := len(key) + len(value)
+	if t.inlineOK(kv) {
+		need := inlineSlots(kv)
+		for _, b := range bs {
+			if i, ok := findRun(b, need); ok {
+				writeInline(b, i, key, value)
+				b.dirty = true
+				return nil
+			}
+		}
+		nb, err := t.extendChain(bs)
+		if err != nil {
+			return err
+		}
+		writeInline(nb, 0, key, value)
+		nb.dirty = true
+		t.flush([]*bkt{nb})
+		return nil
+	}
+
+	addr, class, err := t.writeData(key, value)
+	if err != nil {
+		return err
+	}
+	place := func(b *bkt, i int) {
+		b.setSlotPtr(i, addr/ptrGranule, sh)
+		b.setOccupied(i, true)
+		b.setStart(i, false)
+		b.setTyp(i, class)
+		b.dirty = true
+	}
+	for _, b := range bs {
+		if i, ok := findRun(b, 1); ok {
+			place(b, i)
+			return nil
+		}
+	}
+	nb, err := t.extendChain(bs)
+	if err != nil {
+		t.freeData(addr, class, len(key), len(value))
+		return err
+	}
+	place(nb, 0)
+	t.flush([]*bkt{nb})
+	return nil
+}
+
+// extendChain allocates a new chained bucket, links it from the chain tail
+// and returns it. The new bucket is flushed by the caller; the tail link
+// is flushed with the main chain.
+func (t *Table) extendChain(bs []*bkt) (*bkt, error) {
+	addr, err := t.alloc.Alloc(BucketBytes)
+	if err != nil {
+		return nil, ErrFull
+	}
+	nb := &bkt{addr: addr}
+	tail := bs[len(bs)-1]
+	tail.setChain(chainField(addr))
+	tail.dirty = true
+	t.chainBuckets++
+	return nb, nil
+}
+
+// findRun returns the first index of `need` consecutive free slots.
+func findRun(b *bkt, need int) (int, bool) {
+	occ := b.occ()
+	run := 0
+	for i := 0; i < SlotsPerBucket; i++ {
+		if occ&(1<<i) == 0 {
+			run++
+			if run == need {
+				return i - need + 1, true
+			}
+		} else {
+			run = 0
+		}
+	}
+	return 0, false
+}
+
+// writeInline stores an inline entry at slot i (caller guarantees room).
+func writeInline(b *bkt, i int, key, value []byte) {
+	base := i * SlotBytes
+	b.raw[base] = byte(len(key))
+	b.raw[base+1] = byte(len(value))
+	copy(b.raw[base+2:], key)
+	copy(b.raw[base+2+len(key):], value)
+	n := inlineSlots(len(key) + len(value))
+	for j := 0; j < n; j++ {
+		b.setOccupied(i+j, true)
+		b.setStart(i+j, false)
+		b.setTyp(i+j, 0)
+	}
+	b.setStart(i, true)
+}
+
+// clearInline removes the inline entry spanning [i, i+n).
+func clearInline(b *bkt, i, n int) {
+	for j := 0; j < n; j++ {
+		b.setOccupied(i+j, false)
+		b.setStart(i+j, false)
+	}
+}
+
+// Delete removes key, returning whether it was present.
+func (t *Table) Delete(key []byte) bool {
+	if validate(key, nil) != nil {
+		return false
+	}
+	h := t.hash(key)
+	bs := t.walk(h)
+	ref, ok := t.find(bs, key, sechash(h))
+	if !ok {
+		return false
+	}
+	if ref.inline {
+		clearInline(ref.b, ref.slot, ref.nslots)
+	} else {
+		t.freeData(ref.ptr, ref.class, ref.klen, ref.vlen)
+		ref.b.setOccupied(ref.slot, false)
+		ref.b.setTyp(ref.slot, 0)
+	}
+	ref.b.dirty = true
+	t.flush(bs)
+	t.numKeys--
+	t.payloadBytes -= uint64(ref.klen + ref.vlen)
+	return true
+}

@@ -1,0 +1,33 @@
+package lambda
+
+import "testing"
+
+// FuzzCompile: the expression compiler must never panic on arbitrary
+// source, and anything it accepts must evaluate without panicking.
+func FuzzCompile(f *testing.F) {
+	for _, seed := range []string{
+		"v + p", "max(v, p)", "(v > p) * v + (v <= p) * p",
+		"sat_add(v, p) % 7", "~v << 3", "0xFF & p", "v",
+		"min(", "1 +", "(((", "v ? p", "18446744073709551615",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := Compile(src)
+		if err != nil {
+			return
+		}
+		// Evaluate on a spread of inputs, including extremes.
+		for _, v := range []uint64{0, 1, 63, 64, 1 << 32, ^uint64(0)} {
+			for _, p := range []uint64{0, 1, 64, ^uint64(0)} {
+				fn(v, p)
+			}
+		}
+		pred, err := CompilePredicate(src)
+		if err != nil {
+			t.Fatalf("Compile accepted %q but CompilePredicate rejected: %v", src, err)
+		}
+		pred(0)
+		pred(^uint64(0))
+	})
+}

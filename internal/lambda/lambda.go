@@ -1,0 +1,436 @@
+// Package lambda compiles user-defined update functions from a small
+// expression language into executable closures — the software analogue of
+// KV-Direct's development toolchain (paper §3.2), which duplicates a
+// user's λ, extracts data dependencies with an HLS tool and synthesizes
+// fully pipelined hardware logic before the function can be used in
+// update/reduce/filter operations.
+//
+// The language operates on unsigned 64-bit integers (vector elements are
+// zero-extended, exactly as the execution engine sees them):
+//
+//	expr   := term (('+'|'-'|'|'|'^') term)*
+//	term   := unary (('*'|'/'|'%'|'&'|'<<'|'>>') unary)*
+//	unary  := '~' unary | primary
+//	primary:= 'v' | 'p' | 'acc' | number | call | '(' expr ')'
+//	call   := ('min'|'max'|'sat_add'|'sat_sub') '(' expr ',' expr ')'
+//	         | ('abs_diff') '(' expr ',' expr ')'
+//
+// Identifiers: v is the stored element, p the client-supplied parameter
+// (for reduce, p is the running accumulator Σ; acc is an alias).
+// Numbers are decimal or 0x-hex. Division or modulo by zero yields zero
+// (hardware semantics — no traps in a pipeline).
+//
+// Filter predicates use the same grammar through CompilePredicate, which
+// treats a nonzero result as true and accepts comparison operators
+// ('=='|'!='|'<'|'<='|'>'|'>=') at the lowest precedence.
+package lambda
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Func is a compiled update function: new = f(element, parameter).
+type Func func(v, p uint64) uint64
+
+// Pred is a compiled filter predicate.
+type Pred func(v uint64) bool
+
+// Compile parses and compiles an update expression.
+func Compile(src string) (Func, error) {
+	p := &parser{toks: lex(src), src: src}
+	node, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("lambda: trailing input at %q", p.rest())
+	}
+	return func(v, param uint64) uint64 {
+		return node.eval(env{v: v, p: param})
+	}, nil
+}
+
+// CompilePredicate parses and compiles a filter predicate over v.
+// The parameter p evaluates to zero inside predicates.
+func CompilePredicate(src string) (Pred, error) {
+	p := &parser{toks: lex(src), src: src}
+	node, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("lambda: trailing input at %q", p.rest())
+	}
+	return func(v uint64) bool {
+		return node.eval(env{v: v}) != 0
+	}, nil
+}
+
+type env struct{ v, p uint64 }
+
+// --- AST ---
+
+type node interface {
+	eval(env) uint64
+}
+
+type lit uint64
+
+func (l lit) eval(env) uint64 { return uint64(l) }
+
+type varV struct{}
+
+func (varV) eval(e env) uint64 { return e.v }
+
+type varP struct{}
+
+func (varP) eval(e env) uint64 { return e.p }
+
+type unop struct {
+	op string
+	x  node
+}
+
+func (u unop) eval(e env) uint64 {
+	x := u.x.eval(e)
+	switch u.op {
+	case "~":
+		return ^x
+	}
+	panic("lambda: bad unary " + u.op)
+}
+
+type binop struct {
+	op   string
+	a, b node
+}
+
+func (b binop) eval(e env) uint64 {
+	x, y := b.a.eval(e), b.b.eval(e)
+	switch b.op {
+	case "+":
+		return x + y
+	case "-":
+		return x - y
+	case "*":
+		return x * y
+	case "/":
+		if y == 0 {
+			return 0
+		}
+		return x / y
+	case "%":
+		if y == 0 {
+			return 0
+		}
+		return x % y
+	case "&":
+		return x & y
+	case "|":
+		return x | y
+	case "^":
+		return x ^ y
+	case "<<":
+		if y >= 64 {
+			return 0
+		}
+		return x << y
+	case ">>":
+		if y >= 64 {
+			return 0
+		}
+		return x >> y
+	case "==":
+		return b2u(x == y)
+	case "!=":
+		return b2u(x != y)
+	case "<":
+		return b2u(x < y)
+	case "<=":
+		return b2u(x <= y)
+	case ">":
+		return b2u(x > y)
+	case ">=":
+		return b2u(x >= y)
+	}
+	panic("lambda: bad binop " + b.op)
+}
+
+type call struct {
+	fn   string
+	a, b node
+}
+
+func (c call) eval(e env) uint64 {
+	x, y := c.a.eval(e), c.b.eval(e)
+	switch c.fn {
+	case "min":
+		if x < y {
+			return x
+		}
+		return y
+	case "max":
+		if x > y {
+			return x
+		}
+		return y
+	case "sat_add":
+		s := x + y
+		if s < x {
+			return ^uint64(0)
+		}
+		return s
+	case "sat_sub":
+		if y > x {
+			return 0
+		}
+		return x - y
+	case "abs_diff":
+		if x > y {
+			return x - y
+		}
+		return y - x
+	}
+	panic("lambda: bad call " + c.fn)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// --- lexer ---
+
+type token struct {
+	kind string // "num", "ident", or the operator literal
+	text string
+	val  uint64
+}
+
+func lex(src string) []token {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n':
+			i++
+		case c >= '0' && c <= '9':
+			j := i + 1
+			base := 10
+			if c == '0' && j < len(src) && (src[j] == 'x' || src[j] == 'X') {
+				j++
+				base = 16
+				for j < len(src) && isHex(src[j]) {
+					j++
+				}
+			} else {
+				for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+					j++
+				}
+			}
+			text := src[i:j]
+			parseFrom := text
+			if base == 16 {
+				parseFrom = text[2:]
+			}
+			v, err := strconv.ParseUint(parseFrom, base, 64)
+			if err != nil {
+				toks = append(toks, token{kind: "err", text: text})
+			} else {
+				toks = append(toks, token{kind: "num", text: text, val: v})
+			}
+			i = j
+		case isAlpha(c):
+			j := i + 1
+			for j < len(src) && (isAlpha(src[j]) || src[j] == '_' || (src[j] >= '0' && src[j] <= '9')) {
+				j++
+			}
+			toks = append(toks, token{kind: "ident", text: src[i:j]})
+			i = j
+		default:
+			for _, op := range []string{"<<", ">>", "==", "!=", "<=", ">="} {
+				if strings.HasPrefix(src[i:], op) {
+					toks = append(toks, token{kind: op, text: op})
+					i += 2
+					goto next
+				}
+			}
+			toks = append(toks, token{kind: string(c), text: string(c)})
+			i++
+		next:
+		}
+	}
+	return toks
+}
+
+func isAlpha(c byte) bool { return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' }
+func isHex(c byte) bool {
+	return c >= '0' && c <= '9' || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// --- parser (precedence climbing) ---
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) rest() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos].kind
+}
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(kind string) error {
+	if p.peek() != kind {
+		return fmt.Errorf("lambda: expected %q at %q in %q", kind, p.rest(), p.src)
+	}
+	p.pos++
+	return nil
+}
+
+// parseCompare: expr (cmp expr)?  — comparisons do not chain.
+func (p *parser) parseCompare() (node, error) {
+	left, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch op := p.peek(); op {
+	case "==", "!=", "<", "<=", ">", ">=":
+		p.take()
+		right, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return binop{op: op, a: left, b: right}, nil
+	}
+	return left, nil
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch op := p.peek(); op {
+		case "+", "-", "|", "^":
+			p.take()
+			right, err := p.parseTerm()
+			if err != nil {
+				return nil, err
+			}
+			left = binop{op: op, a: left, b: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch op := p.peek(); op {
+		case "*", "/", "%", "&", "<<", ">>":
+			p.take()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = binop{op: op, a: left, b: right}
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.peek() == "~" {
+		p.take()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return unop{op: "~", x: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+var twoArgFns = map[string]bool{
+	"min": true, "max": true, "sat_add": true, "sat_sub": true, "abs_diff": true,
+}
+
+func (p *parser) parsePrimary() (node, error) {
+	switch p.peek() {
+	case "num":
+		return lit(p.take().val), nil
+	case "ident":
+		t := p.take()
+		switch t.text {
+		case "v":
+			return varV{}, nil
+		case "p", "acc":
+			return varP{}, nil
+		}
+		if twoArgFns[t.text] {
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			a, err := p.parseCompare()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(","); err != nil {
+				return nil, err
+			}
+			b, err := p.parseCompare()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return call{fn: t.text, a: a, b: b}, nil
+		}
+		return nil, fmt.Errorf("lambda: unknown identifier %q (want v, p, acc or a builtin)", t.text)
+	case "(":
+		p.take()
+		inner, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case "err":
+		return nil, fmt.Errorf("lambda: bad number %q", p.rest())
+	default:
+		return nil, fmt.Errorf("lambda: unexpected token %q in %q", p.rest(), p.src)
+	}
+}

@@ -1,0 +1,190 @@
+package lambda
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mustCompile(t *testing.T, src string) Func {
+	t.Helper()
+	f, err := Compile(src)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return f
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		v, p uint64
+		want uint64
+	}{
+		{"v + p", 3, 4, 7},
+		{"v - p", 10, 3, 7},
+		{"v - p", 0, 1, math.MaxUint64}, // wraparound (hardware semantics)
+		{"v * p", 6, 7, 42},
+		{"v / p", 42, 6, 7},
+		{"v / p", 42, 0, 0}, // divide by zero yields zero
+		{"v % p", 42, 5, 2},
+		{"v % p", 42, 0, 0},
+		{"v & p", 0b1100, 0b1010, 0b1000},
+		{"v | p", 0b1100, 0b1010, 0b1110},
+		{"v ^ p", 0b1100, 0b1010, 0b0110},
+		{"v << p", 1, 4, 16},
+		{"v >> p", 16, 4, 1},
+		{"v << p", 1, 64, 0}, // over-shift defined as zero
+		{"v >> p", 1, 200, 0},
+		{"~v", 0, 0, math.MaxUint64},
+		{"v", 9, 0, 9},
+		{"p", 0, 9, 9},
+		{"acc + v", 5, 10, 15}, // acc aliases p (reduce accumulator)
+		{"42", 0, 0, 42},
+		{"0x2A", 0, 0, 42},
+	}
+	for _, c := range cases {
+		f := mustCompile(t, c.src)
+		if got := f(c.v, c.p); got != c.want {
+			t.Errorf("%q(%d,%d) = %d, want %d", c.src, c.v, c.p, got, c.want)
+		}
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	cases := []struct {
+		src  string
+		want uint64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"10 - 2 - 3", 5},  // left associative
+		{"16 >> 2 + 1", 5}, // shift binds tighter than +: (16>>2)+1
+		{"2 * 3 + 4 * 5", 26},
+		{"~0 >> 63", (^uint64(0)) >> 63},
+	}
+	for _, c := range cases {
+		f := mustCompile(t, c.src)
+		if got := f(0, 0); got != c.want {
+			t.Errorf("%q = %d, want %d", c.src, got, c.want)
+		}
+	}
+}
+
+func TestBuiltinCalls(t *testing.T) {
+	cases := []struct {
+		src  string
+		v, p uint64
+		want uint64
+	}{
+		{"min(v, p)", 3, 9, 3},
+		{"max(v, p)", 3, 9, 9},
+		{"sat_add(v, p)", math.MaxUint64, 5, math.MaxUint64},
+		{"sat_add(v, p)", 10, 5, 15},
+		{"sat_sub(v, p)", 3, 9, 0},
+		{"sat_sub(v, p)", 9, 3, 6},
+		{"abs_diff(v, p)", 3, 9, 6},
+		{"abs_diff(v, p)", 9, 3, 6},
+		{"max(min(v, p), 10)", 3, 9, 10},
+	}
+	for _, c := range cases {
+		f := mustCompile(t, c.src)
+		if got := f(c.v, c.p); got != c.want {
+			t.Errorf("%q(%d,%d) = %d, want %d", c.src, c.v, c.p, got, c.want)
+		}
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	f := mustCompile(t, "v > p")
+	if f(5, 3) != 1 || f(3, 5) != 0 {
+		t.Error("v > p wrong")
+	}
+	// Conditional-style expression: (v > p) * v + (v <= p) * p == max.
+	g := mustCompile(t, "(v > p) * v + (v <= p) * p")
+	if g(7, 3) != 7 || g(3, 7) != 7 {
+		t.Error("branchless max wrong")
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		src  string
+		v    uint64
+		want bool
+	}{
+		{"v != 0", 5, true},
+		{"v != 0", 0, false},
+		{"v & 1", 3, true},
+		{"v & 1", 4, false},
+		{"v > 100", 150, true},
+		{"v % 3 == 0", 9, true},
+		{"v % 3 == 0", 10, false},
+	}
+	for _, c := range cases {
+		pr, err := CompilePredicate(c.src)
+		if err != nil {
+			t.Fatalf("CompilePredicate(%q): %v", c.src, err)
+		}
+		if got := pr(c.v); got != c.want {
+			t.Errorf("%q(%d) = %v, want %v", c.src, c.v, got, c.want)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	bad := []string{
+		"",                     // empty
+		"v +",                  // dangling operator
+		"(v + p",               // unbalanced paren
+		"v p",                  // trailing token
+		"min(v)",               // arity
+		"foo(v, p)",            // unknown function
+		"bogus",                // unknown identifier
+		"v + + p",              // double operator
+		"min(v, p",             // unclosed call
+		"0xZZ",                 // bad hex
+		"v < p < 1",            // comparisons do not chain
+		"18446744073709551616", // overflows uint64
+	}
+	for _, src := range bad {
+		if _, err := Compile(src); err == nil {
+			t.Errorf("Compile(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestWhitespaceInsensitive(t *testing.T) {
+	a := mustCompile(t, "v+p*2")
+	b := mustCompile(t, "  v +\tp   * 2\n")
+	for i := uint64(0); i < 100; i++ {
+		if a(i, i+1) != b(i, i+1) {
+			t.Fatal("whitespace changed semantics")
+		}
+	}
+}
+
+func TestFetchAddEquivalenceProperty(t *testing.T) {
+	f := mustCompile(t, "v + p")
+	g := func(v, p uint64) bool { return f(v, p) == v+p }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompiledClosuresIndependent(t *testing.T) {
+	// Two compilations share no state.
+	f := mustCompile(t, "v + 1")
+	g := mustCompile(t, "v * 2")
+	if f(10, 0) != 11 || g(10, 0) != 20 || f(10, 0) != 11 {
+		t.Error("compiled closures interfere")
+	}
+}
+
+func TestDeterministicProperty(t *testing.T) {
+	f := mustCompile(t, "max(v, p) ^ min(v << 1, p >> 1) + abs_diff(v, p)")
+	g := func(v, p uint64) bool { return f(v, p) == f(v, p) }
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,130 @@
+// Package netmodel models the KV-Direct network path (paper §4, §5.1.5,
+// Figure 15, Table 2): a 40 Gbps Ethernet link with RDMA-based framing
+// whose 88-byte per-packet overhead makes client-side batching essential,
+// plus the vector-operation economics of Table 2.
+//
+// Compared with PCIe, the network is the scarcer resource (5 GB/s vs
+// 13.2 GB/s, 2 µs vs 1 µs), which is why KV-Direct batches multiple KV
+// operations per packet and offers vector operations for a more compact
+// representation.
+package netmodel
+
+import "math"
+
+// Config describes the network.
+type Config struct {
+	BytesPerSec    float64 // link bandwidth (5e9 = 40 Gbps)
+	RTTNs          float64 // network round-trip time (2000 ns)
+	PacketOverhead int     // RDMA-over-Ethernet header + padding (88 B)
+	MTU            int     // usable payload bytes per packet (1500)
+}
+
+// DefaultConfig returns the paper's testbed network.
+func DefaultConfig() Config {
+	return Config{
+		BytesPerSec:    5e9,
+		RTTNs:          2000,
+		PacketOverhead: 88,
+		MTU:            1500,
+	}
+}
+
+// OpsPerSecond returns the KV operation ceiling when each op occupies
+// reqBytes in request packets and respBytes in responses, with
+// opsPerPacket ops amortizing the framing overhead. The busier direction
+// is the bottleneck.
+func (c Config) OpsPerSecond(reqBytes, respBytes, opsPerPacket int) float64 {
+	if opsPerPacket < 1 {
+		opsPerPacket = 1
+	}
+	oh := float64(c.PacketOverhead) / float64(opsPerPacket)
+	worst := math.Max(float64(reqBytes)+oh, float64(respBytes)+oh)
+	return c.BytesPerSec / worst
+}
+
+// BatchFor returns how many ops of the given wire size fit in one MTU.
+func (c Config) BatchFor(opBytes int) int {
+	if opBytes <= 0 {
+		return 1
+	}
+	n := c.MTU / opBytes
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// BatchGain returns the throughput ratio of MTU-filling batching over
+// one-op-per-packet for the given per-op wire size (Figure 15a's up-to-4x).
+func (c Config) BatchGain(opBytes int) float64 {
+	single := c.OpsPerSecond(opBytes, opBytes, 1)
+	batched := c.OpsPerSecond(opBytes, opBytes, c.BatchFor(opBytes))
+	if single == 0 {
+		return 0
+	}
+	return batched / single
+}
+
+// LatencyNs returns the one-op network latency under batching: half the
+// round trip each way, serialization of the batch, and the client-side
+// accumulation delay of waiting for a batch to fill (0 for no batching).
+// Figure 15b: batching keeps latency below ~3.5 µs; Figure 17: batching
+// adds less than 1 µs over non-batched operations.
+func (c Config) LatencyNs(batchBytes int, batched bool) float64 {
+	ser := float64(batchBytes+c.PacketOverhead) / c.BytesPerSec * 1e9
+	l := c.RTTNs + 2*ser
+	if batched {
+		// Accumulation: on average half a batch's worth of arrivals at
+		// line rate before the packet ships.
+		l += ser / 2
+	}
+	return l
+}
+
+// --- Table 2: vector operation alternatives ---
+
+// VectorAlternatives reports the effective vector-data throughput (bytes
+// of vector processed per second) for a vector of vecBytes with elemBytes
+// elements, under the four strategies of Table 2. memBytesPerSec caps the
+// server-side strategies (the NIC must still read/modify/write the vector
+// in host memory or NIC DRAM).
+type VectorAlternatives struct {
+	UpdateWithReturn    float64 // vector update returning the original vector
+	UpdateWithoutReturn float64 // vector update, ack only
+	OneKeyPerElement    float64 // each element stored/updated as its own KV
+	FetchToClient       float64 // GET vector, compute at client, PUT back
+}
+
+// Vector computes Table 2's row for one vector size.
+func (c Config) Vector(vecBytes, elemBytes int, memBytesPerSec float64) VectorAlternatives {
+	const opHeader = 16 // opcode, flags, sizes, key, λ id, param
+
+	// Memory-side cost: the NIC reads and writes the whole vector.
+	memCap := memBytesPerSec / 2 // read + write per update
+
+	// Update with return: request is tiny, response carries the vector.
+	retOps := c.OpsPerSecond(opHeader, vecBytes+3, 1)
+	withReturn := math.Min(retOps*float64(vecBytes), memCap)
+
+	// Update without return: both directions tiny; memory-bound for all
+	// but the largest vectors.
+	noRetOps := c.OpsPerSecond(opHeader, 3, 1)
+	withoutReturn := math.Min(noRetOps*float64(vecBytes), memCap)
+
+	// One key per element: every element is a standalone KV op, batched.
+	elemWire := elemBytes + 10 // per-op header in the batch
+	perElemOps := c.OpsPerSecond(elemWire, elemWire, c.BatchFor(elemWire))
+	oneKey := perElemOps * float64(elemBytes)
+
+	// Fetch to client: vector crosses the wire twice (GET response, PUT
+	// request), plus it offers no consistency.
+	fetchOps := c.OpsPerSecond(vecBytes+opHeader, vecBytes+3, 1) / 2
+	fetch := fetchOps * float64(vecBytes)
+
+	return VectorAlternatives{
+		UpdateWithReturn:    withReturn,
+		UpdateWithoutReturn: withoutReturn,
+		OneKeyPerElement:    oneKey,
+		FetchToClient:       fetch,
+	}
+}

@@ -1,0 +1,116 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOpsCeiling64BMatchesPaper(t *testing.T) {
+	// Paper §2.4: 40 Gbps with 64 B KVs and client-side batching gives a
+	// ~78 Mops ceiling.
+	c := DefaultConfig()
+	ops := c.OpsPerSecond(64, 64, c.BatchFor(64))
+	if ops < 65e6 || ops > 80e6 {
+		t.Errorf("64 B batched ceiling = %.1f Mops, want ~70-78", ops/1e6)
+	}
+}
+
+func TestBatchGainUpTo4x(t *testing.T) {
+	// Figure 15a: batching improves throughput by up to 4x for small ops.
+	c := DefaultConfig()
+	gain := c.BatchGain(16)
+	if gain < 3.0 || gain > 7.0 {
+		t.Errorf("16 B batch gain = %.1fx, want ~4-6x", gain)
+	}
+	// Large ops gain little (overhead already amortized by size).
+	if g := c.BatchGain(1400); g > 1.2 {
+		t.Errorf("1400 B batch gain = %.1fx, want ~1", g)
+	}
+}
+
+func TestBatchGainMonotonicDecreasing(t *testing.T) {
+	c := DefaultConfig()
+	prev := math.Inf(1)
+	for _, sz := range []int{8, 16, 32, 64, 128, 256, 512} {
+		g := c.BatchGain(sz)
+		if g > prev+1e-9 {
+			t.Errorf("batch gain increased at %d B", sz)
+		}
+		prev = g
+	}
+}
+
+func TestLatencyBelowPaperBounds(t *testing.T) {
+	// Figure 15b: batched network latency stays below ~3.5 µs.
+	c := DefaultConfig()
+	for _, batch := range []int{64, 256, 512, 1400} {
+		l := c.LatencyNs(batch, true)
+		if l > 3500 {
+			t.Errorf("batched latency for %d B = %.0f ns, want < 3500", batch, l)
+		}
+	}
+	// Figure 17: batching adds < 1 µs over non-batched.
+	extra := c.LatencyNs(1400, true) - c.LatencyNs(64, false)
+	if extra > 1000 {
+		t.Errorf("batching adds %.0f ns, want < 1000", extra)
+	}
+}
+
+func TestLatencyGrowsWithBatch(t *testing.T) {
+	c := DefaultConfig()
+	if c.LatencyNs(1400, true) <= c.LatencyNs(64, true) {
+		t.Error("latency should grow with batch size")
+	}
+}
+
+func TestBatchFor(t *testing.T) {
+	c := DefaultConfig()
+	if c.BatchFor(100) != 15 {
+		t.Errorf("BatchFor(100) = %d, want 15", c.BatchFor(100))
+	}
+	if c.BatchFor(5000) != 1 || c.BatchFor(0) != 1 {
+		t.Error("BatchFor should floor at 1")
+	}
+}
+
+func TestVectorUpdateBeatsAlternatives(t *testing.T) {
+	// Table 2: vector update (either form) beats one-key-per-element and
+	// fetch-to-client across vector sizes.
+	c := DefaultConfig()
+	for _, vec := range []int{64, 128, 256, 512, 1024} {
+		v := c.Vector(vec, 4, 13.2e9)
+		if v.UpdateWithoutReturn < v.OneKeyPerElement {
+			t.Errorf("vec %d: update w/o return (%.2f GB/s) should beat one-key (%.2f)",
+				vec, v.UpdateWithoutReturn/1e9, v.OneKeyPerElement/1e9)
+		}
+		if v.UpdateWithoutReturn < v.FetchToClient {
+			t.Errorf("vec %d: update w/o return (%.2f GB/s) should beat fetch (%.2f)",
+				vec, v.UpdateWithoutReturn/1e9, v.FetchToClient/1e9)
+		}
+		if v.UpdateWithReturn > v.UpdateWithoutReturn {
+			t.Errorf("vec %d: returning the vector cannot be faster", vec)
+		}
+	}
+}
+
+func TestVectorOneKeyPerElementNetworkBound(t *testing.T) {
+	// One key per element moves mostly headers: effective data rate far
+	// below the link rate.
+	c := DefaultConfig()
+	v := c.Vector(1024, 4, 13.2e9)
+	if v.OneKeyPerElement > 0.4*c.BytesPerSec {
+		t.Errorf("one-key-per-element = %.2f GB/s, should be header-dominated",
+			v.OneKeyPerElement/1e9)
+	}
+}
+
+func TestVectorWithoutReturnMemoryCapped(t *testing.T) {
+	// For large vectors the no-return update saturates the memory system,
+	// not the network.
+	c := DefaultConfig()
+	v := c.Vector(1024, 4, 13.2e9)
+	if v.UpdateWithoutReturn != 13.2e9/2 {
+		t.Errorf("large no-return update = %.2f GB/s, want memory cap 6.6",
+			v.UpdateWithoutReturn/1e9)
+	}
+}

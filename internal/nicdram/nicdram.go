@@ -1,0 +1,295 @@
+// Package nicdram models the programmable NIC's on-board DRAM (paper
+// §3.3.4, §4): a 4 GiB, 12.8 GB/s DDR3 channel used as a cache for the
+// cache-able portion of the host-memory KVS.
+//
+// The cache is direct-mapped at 64-byte line granularity. Each line carries
+// an address tag and a dirty flag — the metadata the hardware squeezes into
+// spare ECC bits (the paper widens the parity granularity from 64 to 256
+// data bits to free 6 bits per 64 B line; no valid bit is needed because
+// the NIC accesses KVS storage exclusively). Here the metadata lives in
+// ordinary Go slices, but the accounting is the same: no extra host-memory
+// accesses are charged for metadata.
+//
+// Host-memory traffic (fills and dirty write-backs) goes through the
+// underlying memory.Memory, so PCIe DMA counts stay authoritative; DRAM
+// traffic is counted locally for bandwidth modeling.
+package nicdram
+
+import (
+	"fmt"
+
+	"kvdirect/internal/memory"
+)
+
+// LineBytes is the cache line size (matches memory.LineBytes).
+const LineBytes = memory.LineBytes
+
+// DefaultSizeBytes and DefaultBandwidth are the paper's NIC DRAM parameters.
+const (
+	DefaultSizeBytes = 4 << 30 // 4 GiB
+	DefaultBandwidth = 12.8e9  // bytes/s, one DDR3-1600 channel
+)
+
+// Stats counts cache activity. Hits/Misses are per request; line counters
+// track DRAM bandwidth usage.
+type Stats struct {
+	Hits           uint64 // requests served entirely from NIC DRAM
+	Misses         uint64 // requests needing at least one host-memory fill
+	Fills          uint64 // lines installed from host memory
+	DirtyEvictions uint64 // lines written back to host on eviction
+	CleanEvictions uint64 // lines dropped without write-back
+	DRAMLineReads  uint64 // 64 B lines read from NIC DRAM
+	DRAMLineWrites uint64 // 64 B lines written to NIC DRAM
+}
+
+// HitRate returns hits/(hits+misses), or 0 with no traffic.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a direct-mapped write-back cache over host memory.
+// It is not safe for concurrent use; the KV processor pipeline serializes
+// memory-engine requests just as the hardware's single DRAM controller does.
+type Cache struct {
+	host  *memory.Memory
+	lines int // capacity in 64 B lines
+
+	tags  []int64 // host line index occupying each slot, -1 = empty
+	dirty []bool
+	data  []byte // lines * 64 bytes
+
+	stats Stats
+}
+
+// New creates a cache of sizeBytes (rounded down to whole lines) over host.
+func New(host *memory.Memory, sizeBytes uint64) *Cache {
+	n := int(sizeBytes / LineBytes)
+	if n <= 0 {
+		panic(fmt.Sprintf("nicdram: cache too small: %d bytes", sizeBytes))
+	}
+	c := &Cache{
+		host:  host,
+		lines: n,
+		tags:  make([]int64, n),
+		dirty: make([]bool, n),
+		data:  make([]byte, n*LineBytes),
+	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// SizeBytes returns the cache capacity in bytes.
+func (c *Cache) SizeBytes() uint64 { return uint64(c.lines) * LineBytes }
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// slotFor maps a host line index to a cache slot. The mapping is plain
+// modulo, as in the hardware: with a 16:1 host-to-NIC memory ratio the
+// ambiguity per slot is 16 lines, so the stored tag needs only 4 bits —
+// which is what lets the tag + dirty flag fit in the spare ECC bits
+// (see internal/ecc and TagFor).
+func (c *Cache) slotFor(line uint64) int {
+	return int(line % uint64(c.lines))
+}
+
+// TagFor returns the short tag that disambiguates which host line
+// occupies a slot: line / cacheLines. With host:NIC ratios up to 16 it
+// fits the 4 bits the ECC sideband provides.
+func (c *Cache) TagFor(line uint64) uint64 {
+	return line / uint64(c.lines)
+}
+
+func (c *Cache) lineData(slot int) []byte {
+	return c.data[slot*LineBytes : (slot+1)*LineBytes]
+}
+
+// present reports whether host line `line` currently occupies its slot.
+func (c *Cache) present(line uint64) bool {
+	return c.tags[c.slotFor(line)] == int64(line)
+}
+
+// install makes `line` resident, evicting any previous occupant (writing it
+// back to host memory if dirty) and filling from src (a full 64 B line).
+func (c *Cache) install(line uint64, src []byte) {
+	slot := c.slotFor(line)
+	if old := c.tags[slot]; old >= 0 && old != int64(line) {
+		if c.dirty[slot] {
+			c.host.Write(uint64(old)*LineBytes, c.lineData(slot))
+			c.stats.DirtyEvictions++
+		} else {
+			c.stats.CleanEvictions++
+		}
+	}
+	c.tags[slot] = int64(line)
+	c.dirty[slot] = false
+	copy(c.lineData(slot), src)
+	c.stats.Fills++
+	c.stats.DRAMLineWrites++
+}
+
+// span returns the first line index and line count of [addr, addr+n).
+func span(addr uint64, n int) (first uint64, count int) {
+	first = addr / LineBytes
+	last := (addr + uint64(n) - 1) / LineBytes
+	return first, int(last - first + 1)
+}
+
+// Read serves a read request of len(buf) bytes at addr. A request whose
+// lines are all resident is a hit (served from DRAM); otherwise the aligned
+// covering region is fetched from host memory in one DMA read and installed.
+func (c *Cache) Read(addr uint64, buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	first, count := span(addr, len(buf))
+	allHit := true
+	for i := 0; i < count; i++ {
+		if !c.present(first + uint64(i)) {
+			allHit = false
+			break
+		}
+	}
+	if allHit {
+		c.stats.Hits++
+		c.copyOut(addr, buf)
+		c.stats.DRAMLineReads += uint64(count)
+		return
+	}
+	c.stats.Misses++
+	// One DMA read of the line-aligned covering region.
+	alignedBase := first * LineBytes
+	aligned := make([]byte, count*LineBytes)
+	c.host.Read(alignedBase, aligned)
+	// Pass 1: overlay resident (possibly dirty) lines, which are newer than
+	// host memory, before any install can evict them. Lines of one request
+	// can collide in the direct map, so installs must not precede this.
+	for i := 0; i < count; i++ {
+		line := first + uint64(i)
+		if c.present(line) {
+			copy(aligned[i*LineBytes:(i+1)*LineBytes], c.lineData(c.slotFor(line)))
+		}
+	}
+	// Pass 2: install missing lines from the merged view. An install may
+	// evict another line of this request (direct-map collision); that line
+	// re-installs from `aligned`, which already holds its latest data.
+	for i := 0; i < count; i++ {
+		line := first + uint64(i)
+		if !c.present(line) {
+			c.install(line, aligned[i*LineBytes:(i+1)*LineBytes])
+		}
+	}
+	copy(buf, aligned[addr-alignedBase:])
+	c.stats.DRAMLineReads += uint64(count)
+}
+
+// copyOut copies [addr, addr+len(buf)) from resident cache lines.
+func (c *Cache) copyOut(addr uint64, buf []byte) {
+	off := 0
+	for off < len(buf) {
+		a := addr + uint64(off)
+		line := a / LineBytes
+		slot := c.slotFor(line)
+		lo := int(a % LineBytes)
+		n := LineBytes - lo
+		if n > len(buf)-off {
+			n = len(buf) - off
+		}
+		copy(buf[off:off+n], c.lineData(slot)[lo:lo+n])
+		off += n
+	}
+}
+
+// Write serves a write request. Write-allocate: missing lines not fully
+// covered by the write are fetched from host memory first (one DMA read),
+// then all lines are installed/overlaid in the cache and marked dirty.
+func (c *Cache) Write(addr uint64, data []byte) {
+	if len(data) == 0 {
+		return
+	}
+	first, count := span(addr, len(data))
+	alignedBase := first * LineBytes
+	aligned := make([]byte, count*LineBytes)
+
+	needFetch := false
+	for i := 0; i < count; i++ {
+		line := first + uint64(i)
+		if c.present(line) {
+			continue
+		}
+		lineStart := uint64(i) * LineBytes
+		lineEnd := lineStart + LineBytes
+		reqStart := addr - alignedBase
+		reqEnd := reqStart + uint64(len(data))
+		fullyCovered := reqStart <= lineStart && reqEnd >= lineEnd
+		if !fullyCovered {
+			needFetch = true
+			break
+		}
+	}
+
+	allHit := true
+	for i := 0; i < count; i++ {
+		if !c.present(first + uint64(i)) {
+			allHit = false
+			break
+		}
+	}
+	if allHit {
+		c.stats.Hits++
+	} else {
+		c.stats.Misses++
+		if needFetch {
+			c.host.Read(alignedBase, aligned)
+		}
+	}
+
+	// Seed aligned with resident (possibly dirty) cache contents, which
+	// supersede whatever the host fetch returned.
+	for i := 0; i < count; i++ {
+		line := first + uint64(i)
+		if c.present(line) {
+			slot := c.slotFor(line)
+			copy(aligned[uint64(i)*LineBytes:], c.lineData(slot))
+		}
+	}
+	// Overlay the write.
+	copy(aligned[addr-alignedBase:], data)
+	// Install/refresh every covered line as dirty.
+	for i := 0; i < count; i++ {
+		line := first + uint64(i)
+		slot := c.slotFor(line)
+		if c.present(line) {
+			copy(c.lineData(slot), aligned[uint64(i)*LineBytes:(uint64(i)+1)*LineBytes])
+			c.stats.DRAMLineWrites++
+		} else {
+			c.install(line, aligned[uint64(i)*LineBytes:(uint64(i)+1)*LineBytes])
+		}
+		c.dirty[slot] = true
+	}
+}
+
+// Flush writes every dirty line back to host memory and invalidates the
+// cache. Used at shutdown and by tests to verify coherence.
+func (c *Cache) Flush() {
+	for slot := 0; slot < c.lines; slot++ {
+		if c.tags[slot] >= 0 && c.dirty[slot] {
+			c.host.Write(uint64(c.tags[slot])*LineBytes, c.lineData(slot))
+			c.stats.DirtyEvictions++
+		}
+		c.tags[slot] = -1
+		c.dirty[slot] = false
+	}
+}
+
+// Resident reports whether the line containing addr is cached (for tests).
+func (c *Cache) Resident(addr uint64) bool { return c.present(addr / LineBytes) }

@@ -1,0 +1,259 @@
+package nicdram
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kvdirect/internal/ecc"
+	"kvdirect/internal/memory"
+)
+
+func newPair(hostBytes, cacheBytes uint64) (*memory.Memory, *Cache) {
+	host := memory.New(hostBytes)
+	return host, New(host, cacheBytes)
+}
+
+func TestReadThroughCache(t *testing.T) {
+	host, c := newPair(1<<16, 1<<12)
+	host.Poke(128, []byte("cached-data"))
+	buf := make([]byte, 11)
+	c.Read(128, buf)
+	if string(buf) != "cached-data" {
+		t.Errorf("first read = %q", buf)
+	}
+	if s := c.Stats(); s.Misses != 1 || s.Hits != 0 {
+		t.Errorf("first read stats = %+v", s)
+	}
+	c.Read(128, buf)
+	if string(buf) != "cached-data" {
+		t.Errorf("second read = %q", buf)
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Errorf("second read should hit: %+v", s)
+	}
+}
+
+func TestHitServedWithoutHostAccess(t *testing.T) {
+	host, c := newPair(1<<16, 1<<12)
+	buf := make([]byte, 64)
+	c.Read(0, buf) // miss, fill
+	before := host.Stats()
+	c.Read(0, buf) // hit
+	if d := host.Stats().Sub(before); d.Accesses() != 0 {
+		t.Errorf("hit caused %d host accesses", d.Accesses())
+	}
+}
+
+func TestWriteBackOnFlush(t *testing.T) {
+	host, c := newPair(1<<16, 1<<12)
+	c.Write(256, []byte("dirty!"))
+	// Host memory still stale (write-back policy).
+	stale := make([]byte, 6)
+	host.Peek(256, stale)
+	if string(stale) == "dirty!" {
+		t.Error("write-back cache wrote through immediately")
+	}
+	c.Flush()
+	host.Peek(256, stale)
+	if string(stale) != "dirty!" {
+		t.Errorf("after flush host has %q", stale)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	host, c := newPair(1<<20, 4*64) // 4-line cache forces collisions
+	// Write lines until one evicts a dirty line.
+	payload := []byte("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef")
+	for i := uint64(0); i < 64; i++ {
+		c.Write(i*64, payload)
+	}
+	if c.Stats().DirtyEvictions == 0 {
+		t.Fatal("expected dirty evictions with 4-line cache")
+	}
+	c.Flush()
+	buf := make([]byte, 64)
+	for i := uint64(0); i < 64; i++ {
+		host.Peek(i*64, buf)
+		if !bytes.Equal(buf, payload) {
+			t.Fatalf("line %d lost after evictions: %q", i, buf)
+		}
+	}
+}
+
+func TestPartialLineWriteFetches(t *testing.T) {
+	host, c := newPair(1<<16, 1<<12)
+	full := make([]byte, 64)
+	for i := range full {
+		full[i] = byte(i)
+	}
+	host.Poke(0, full)
+	// Partial write to an uncached line must merge with host data.
+	c.Write(10, []byte{0xFF, 0xFF})
+	got := make([]byte, 64)
+	c.Read(0, got)
+	want := append([]byte{}, full...)
+	want[10], want[11] = 0xFF, 0xFF
+	if !bytes.Equal(got, want) {
+		t.Errorf("partial write merge failed:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestFullLineWriteSkipsFetch(t *testing.T) {
+	host, c := newPair(1<<16, 1<<12)
+	before := host.Stats()
+	line := make([]byte, 64)
+	c.Write(64, line) // aligned full-line write: write-allocate, no fetch
+	if d := host.Stats().Sub(before); d.Reads != 0 {
+		t.Errorf("full-line write fetched from host: %+v", d)
+	}
+}
+
+func TestReadSpanningLines(t *testing.T) {
+	host, c := newPair(1<<16, 1<<12)
+	data := make([]byte, 200)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	host.Poke(30, data)
+	got := make([]byte, 200)
+	c.Read(30, got)
+	if !bytes.Equal(got, data) {
+		t.Error("multi-line read mismatch")
+	}
+	// Second read: all lines resident → hit.
+	c.Read(30, got)
+	if !bytes.Equal(got, data) {
+		t.Error("multi-line re-read mismatch")
+	}
+	if c.Stats().Hits != 1 {
+		t.Errorf("stats = %+v, want 1 hit", c.Stats())
+	}
+}
+
+func TestDirtyDataSurvivesOverlappingRead(t *testing.T) {
+	host, c := newPair(1<<16, 1<<12)
+	host.Poke(0, bytes.Repeat([]byte{0xAA}, 128))
+	c.Write(0, []byte{1, 2, 3}) // dirty partial line 0
+	// Read spanning lines 0-1: line 1 missing triggers host fetch, but
+	// dirty line 0 must not be clobbered by stale host data.
+	got := make([]byte, 128)
+	c.Read(0, got)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("dirty data lost on overlapping miss: % x", got[:4])
+	}
+	if got[3] != 0xAA || got[127] != 0xAA {
+		t.Error("fetched portion wrong")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	_, c := newPair(1<<16, 1<<12)
+	buf := make([]byte, 8)
+	c.Read(0, buf)
+	c.Read(0, buf)
+	c.Read(0, buf)
+	c.Read(64, buf)
+	if hr := c.Stats().HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", hr)
+	}
+	var zero Stats
+	if zero.HitRate() != 0 {
+		t.Error("zero stats hit rate should be 0")
+	}
+}
+
+func TestCoherenceVsShadowProperty(t *testing.T) {
+	// Random reads/writes through the cache must equal a shadow byte slice.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		host, c := newPair(1<<14, 8*64) // tiny cache → heavy eviction
+		shadow := make([]byte, 1<<14)
+		for op := 0; op < 500; op++ {
+			addr := uint64(rng.Intn(1<<14 - 256))
+			n := 1 + rng.Intn(200)
+			if rng.Intn(2) == 0 {
+				data := make([]byte, n)
+				rng.Read(data)
+				c.Write(addr, data)
+				copy(shadow[addr:], data)
+			} else {
+				got := make([]byte, n)
+				c.Read(addr, got)
+				if !bytes.Equal(got, shadow[addr:addr+uint64(n)]) {
+					return false
+				}
+			}
+		}
+		// After flush, host memory equals shadow exactly.
+		c.Flush()
+		hostAll := make([]byte, 1<<14)
+		host.Peek(0, hostAll)
+		return bytes.Equal(hostAll, shadow)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSmallCachePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for sub-line cache")
+		}
+	}()
+	New(memory.New(1024), 10)
+}
+
+func TestResident(t *testing.T) {
+	_, c := newPair(1<<16, 1<<12)
+	if c.Resident(0) {
+		t.Error("fresh cache should have nothing resident")
+	}
+	c.Read(0, make([]byte, 8))
+	if !c.Resident(0) || !c.Resident(63) {
+		t.Error("line 0 should be resident after read")
+	}
+	if c.Resident(64) {
+		t.Error("line 1 should not be resident")
+	}
+}
+
+func TestZeroLengthOps(t *testing.T) {
+	_, c := newPair(1<<12, 1<<10)
+	c.Read(0, nil)
+	c.Write(0, nil)
+	if s := c.Stats(); s.Hits+s.Misses != 0 {
+		t.Errorf("zero-length ops counted: %+v", s)
+	}
+}
+
+func TestTagFitsECCSpareBits(t *testing.T) {
+	// Paper §4: the cache's per-line metadata is 4 address bits + 1 dirty
+	// flag, stored in spare ECC bits. With the paper's 16:1 host-to-NIC
+	// memory ratio, modulo mapping makes every tag fit in 4 bits, so
+	// ecc.PackCacheMeta can carry it.
+	host := memory.New(1 << 24)      // 16 MiB host
+	c := New(host, uint64(1<<24)/16) // 1 MiB cache: ratio 16
+	nLines := host.Size() / LineBytes
+	maxTag := uint64(0)
+	for line := uint64(0); line < nLines; line += 37 {
+		if tag := c.TagFor(line); tag > maxTag {
+			maxTag = tag
+		}
+	}
+	if maxTag > 15 {
+		t.Fatalf("max tag %d does not fit 4 bits", maxTag)
+	}
+	for line := uint64(0); line < nLines; line += 997 {
+		tag := uint8(c.TagFor(line))
+		for _, dirty := range []bool{false, true} {
+			m := ecc.PackCacheMeta(tag, dirty)
+			gt, gd := ecc.UnpackCacheMeta(m)
+			if gt != tag || gd != dirty {
+				t.Fatalf("line %d metadata did not survive ECC packing", line)
+			}
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package ooo implements KV-Direct's out-of-order execution engine (paper
+// §3.3.3): a reservation station that tracks in-flight KV operations,
+// resolves data dependencies without stalling the pipeline, forwards
+// cached values to dependent operations, and issues write-backs.
+//
+// Two components are provided:
+//
+//   - Engine: the functional reservation station used by the KV processor.
+//     Operations are submitted into a bounded in-flight window; dependent
+//     operations (same reservation-station hash — false positives are
+//     treated as dependencies, never missed ones) chain behind the head
+//     and execute by data forwarding when it completes. This both merges
+//     memory accesses and guarantees consistency: no two operations on the
+//     same key are ever in the main pipeline simultaneously.
+//
+//   - the cycle-level timing simulator in sim.go, which reproduces
+//     Figure 13's throughput comparison between out-of-order execution
+//     and pipeline stalling.
+package ooo
+
+import "fmt"
+
+// Default hardware parameters (paper §3.3.3).
+const (
+	// DefaultRSSlots is the number of reservation-station hash slots in
+	// on-chip BRAM; 1024 keeps the collision probability below 25% with
+	// 256 in-flight operations.
+	DefaultRSSlots = 1024
+	// DefaultWindow is the maximum in-flight operations needed to
+	// saturate PCIe, DRAM and the processing pipeline.
+	DefaultWindow = 256
+)
+
+// Kind is a KV operation type.
+type Kind int
+
+// Operation kinds.
+const (
+	Get Kind = iota
+	Put
+	Delete
+	Atomic // read-modify-write with a user function
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Get:
+		return "GET"
+	case Put:
+		return "PUT"
+	case Delete:
+		return "DELETE"
+	case Atomic:
+		return "ATOMIC"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// IsWrite reports whether the kind mutates the store.
+func (k Kind) IsWrite() bool { return k != Get }
+
+// Op is one KV operation flowing through the engine.
+type Op struct {
+	Kind    Kind
+	Key     []byte
+	KeyHash uint64
+	Value   []byte // Put: new value
+	// Fn is an Atomic's read-modify-write function. It receives the old
+	// value (nil if the key is absent) and returns the new value; a nil
+	// return means "leave the store unchanged" (conditional updates and
+	// read-only folds).
+	Fn   func(old []byte) []byte
+	Done func(value []byte, ok bool, err error)
+}
+
+// Executor is the main processing pipeline the engine issues operations
+// to — in KV-Direct, the hash table + slab allocator over the unified
+// memory access engine.
+type Executor interface {
+	Get(key []byte) ([]byte, bool)
+	Put(key, value []byte) error
+	Delete(key []byte) bool
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	Submitted       uint64
+	Issued          uint64 // operations sent to the main pipeline
+	Forwarded       uint64 // operations satisfied by data forwarding
+	Writebacks      uint64 // cache write-back PUTs/DELETEs issued
+	WritebackErrors uint64 // write-backs rejected by the pipeline (store full)
+	MaxChain        int    // longest dependency chain observed
+}
+
+// MergeRatio returns the fraction of operations satisfied by forwarding
+// instead of the main pipeline.
+func (s Stats) MergeRatio() float64 {
+	if s.Submitted == 0 {
+		return 0
+	}
+	return float64(s.Forwarded) / float64(s.Submitted)
+}
+
+// entry is one reservation-station slot: the operation currently in the
+// main pipeline plus its chain of dependent pending operations and the
+// forwarding cache.
+type entry struct {
+	rsIdx uint32
+	head  *Op
+	chain []*Op
+
+	// Forwarding cache for head.Key after the head completes.
+	key     []byte
+	cached  []byte
+	present bool
+	dirty   bool
+
+	writeback bool // head is a synthetic write-back, not a client op
+}
+
+// Engine is the functional out-of-order engine. Not safe for concurrent
+// use: the hardware processes one decoded operation per clock cycle.
+type Engine struct {
+	exec    Executor
+	slots   []*entry
+	queue   []*entry // FIFO of entries whose head is in the main pipeline
+	pending int      // client ops somewhere in the engine
+	window  int
+	stats   Stats
+
+	// Stall disables out-of-order execution: a submission whose key
+	// conflicts with an in-flight operation drains the pipeline first
+	// (the Figure 13 baseline).
+	Stall bool
+}
+
+// NewEngine creates an engine issuing to exec with the given reservation
+// station size and in-flight window (0 = defaults).
+func NewEngine(exec Executor, rsSlots, window int) *Engine {
+	if rsSlots <= 0 {
+		rsSlots = DefaultRSSlots
+	}
+	if window <= 0 {
+		window = DefaultWindow
+	}
+	return &Engine{
+		exec:   exec,
+		slots:  make([]*entry, rsSlots),
+		window: window,
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// InFlight returns the number of client operations inside the engine.
+func (e *Engine) InFlight() int { return e.pending }
+
+// Submit feeds one operation into the engine. Its Done callback fires
+// when the operation completes — possibly within this call (window full
+// or dependency-stall drain) or on a later Submit/Flush.
+func (e *Engine) Submit(op *Op) {
+	e.stats.Submitted++
+	rs := uint32(op.KeyHash % uint64(len(e.slots)))
+	if cur := e.slots[rs]; cur != nil {
+		if e.Stall && (op.Kind.IsWrite() || e.chainHasWrite(cur)) {
+			// Baseline: drain until the conflicting entry retires.
+			e.drainEntry(cur)
+		} else {
+			// Dependent (or hash-collision false positive): chain it.
+			cur.chain = append(cur.chain, op)
+			e.pending++
+			if n := len(cur.chain); n > e.stats.MaxChain {
+				e.stats.MaxChain = n
+			}
+			e.fill()
+			return
+		}
+	}
+	en := &entry{rsIdx: rs, head: op, key: op.Key}
+	e.slots[rs] = en
+	e.queue = append(e.queue, en)
+	e.pending++
+	e.fill()
+}
+
+// chainHasWrite reports whether the entry's in-flight work includes any
+// mutation (used by the stall baseline's conflict rule: reads may overlap
+// reads, everything else stalls).
+func (e *Engine) chainHasWrite(en *entry) bool {
+	if en.head.Kind.IsWrite() || en.writeback {
+		return true
+	}
+	for _, op := range en.chain {
+		if op.Kind.IsWrite() {
+			return true
+		}
+	}
+	return false
+}
+
+// fill retires entries while the window is over-subscribed.
+func (e *Engine) fill() {
+	for e.pending > e.window && len(e.queue) > 0 {
+		e.retire()
+	}
+}
+
+// Flush drains every in-flight operation.
+func (e *Engine) Flush() {
+	for len(e.queue) > 0 {
+		e.retire()
+	}
+}
+
+// drainEntry retires queue heads until en has fully left the engine.
+func (e *Engine) drainEntry(en *entry) {
+	for e.slots[en.rsIdx] == en && len(e.queue) > 0 {
+		e.retire()
+	}
+}
+
+// retire completes the oldest main-pipeline operation and processes its
+// dependency chain by data forwarding.
+func (e *Engine) retire() {
+	en := e.queue[0]
+	e.queue = e.queue[1:]
+
+	// 1. The head completes in the main pipeline.
+	if en.writeback {
+		if en.present {
+			// A write-back can fail if the store filled up after the
+			// dependent operations were already acknowledged (the same
+			// asynchrony the hardware has); it is counted so operators
+			// can see it, and the stale value remains readable.
+			if err := e.exec.Put(en.key, en.cached); err != nil {
+				e.stats.WritebackErrors++
+			}
+		} else {
+			e.exec.Delete(en.key)
+		}
+		en.dirty = false
+		e.stats.Writebacks++
+	} else {
+		e.executeHead(en)
+		e.pending--
+	}
+
+	// 2. Forward to dependent operations with a matching key, in order.
+	e.forwardChain(en)
+
+	// 3. Write back a dirty cached value, keeping the slot occupied so
+	// no same-key operation can enter the main pipeline concurrently.
+	if en.dirty {
+		en.writeback = true
+		en.head = nil
+		e.queue = append(e.queue, en)
+		return
+	}
+
+	// 4. Non-matching chained ops (hash collisions): promote the first
+	// to head and reissue.
+	if len(en.chain) > 0 {
+		next := en.chain[0]
+		en.chain = en.chain[1:]
+		en.head = next
+		en.key = next.Key
+		en.writeback = false
+		en.cached, en.present, en.dirty = nil, false, false
+		e.queue = append(e.queue, en)
+		return
+	}
+
+	// 5. Slot free.
+	e.slots[en.rsIdx] = nil
+}
+
+// executeHead runs the head op against the main pipeline and primes the
+// forwarding cache.
+func (e *Engine) executeHead(en *entry) {
+	op := en.head
+	e.stats.Issued++
+	switch op.Kind {
+	case Get:
+		v, ok := e.exec.Get(op.Key)
+		en.cached, en.present = v, ok
+		op.complete(v, ok, nil)
+	case Put:
+		err := e.exec.Put(op.Key, op.Value)
+		if err == nil {
+			en.cached, en.present = op.Value, true
+		}
+		op.complete(nil, err == nil, err)
+	case Delete:
+		ok := e.exec.Delete(op.Key)
+		en.cached, en.present = nil, false
+		op.complete(nil, ok, nil)
+	case Atomic:
+		old, ok := e.exec.Get(op.Key)
+		var oldCopy []byte
+		if ok {
+			oldCopy = append([]byte(nil), old...)
+		}
+		nv := op.Fn(oldCopy)
+		if nv == nil {
+			en.cached, en.present = oldCopy, ok
+		} else {
+			en.cached, en.present, en.dirty = nv, true, true
+		}
+		op.complete(oldCopy, ok, nil)
+	}
+}
+
+// forwardChain executes chained operations with a matching key against
+// the forwarding cache (one per clock cycle in hardware), leaving
+// non-matching (hash-collision) ops in place.
+func (e *Engine) forwardChain(en *entry) {
+	rest := en.chain[:0]
+	for _, op := range en.chain {
+		if !bytesEqual(op.Key, en.key) {
+			rest = append(rest, op)
+			continue
+		}
+		e.stats.Forwarded++
+		e.pending--
+		switch op.Kind {
+		case Get:
+			if en.present {
+				op.complete(en.cached, true, nil)
+			} else {
+				op.complete(nil, false, nil)
+			}
+		case Put:
+			en.cached = op.Value
+			en.present = true
+			en.dirty = true
+			op.complete(nil, true, nil)
+		case Delete:
+			ok := en.present
+			en.cached, en.present = nil, false
+			en.dirty = true
+			op.complete(nil, ok, nil)
+		case Atomic:
+			existed := en.present
+			var old []byte
+			if existed {
+				old = append([]byte(nil), en.cached...)
+			}
+			if nv := op.Fn(old); nv != nil {
+				en.cached = nv
+				en.present = true
+				en.dirty = true
+			}
+			op.complete(old, existed, nil)
+		}
+	}
+	en.chain = rest
+}
+
+func (op *Op) complete(v []byte, ok bool, err error) {
+	if op.Done != nil {
+		op.Done(v, ok, err)
+	}
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

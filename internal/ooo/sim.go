@@ -1,0 +1,189 @@
+package ooo
+
+import (
+	"container/heap"
+)
+
+// SimConfig parameterizes the cycle-level pipeline timing model used for
+// Figure 13. Times are in KV-processor clock cycles (180 MHz).
+type SimConfig struct {
+	ClockHz          float64 // 180e6
+	MemLatencyCycles int     // main-pipeline latency: PCIe RTT + processing (~189)
+	Window           int     // max in-flight ops (256)
+	RSSlots          int     // reservation-station hash slots (1024)
+	OoO              bool    // out-of-order execution vs pipeline stall
+}
+
+// DefaultSimConfig returns the paper's hardware parameters: 180 MHz clock
+// and 1050 ns memory latency = 189 cycles.
+func DefaultSimConfig(oooEnabled bool) SimConfig {
+	return SimConfig{
+		ClockHz:          180e6,
+		MemLatencyCycles: 189,
+		Window:           DefaultWindow,
+		RSSlots:          DefaultRSSlots,
+		OoO:              oooEnabled,
+	}
+}
+
+// SimOp is one operation in the timing model: a key id and whether it
+// mutates (PUTs and atomics count as writes).
+type SimOp struct {
+	Key   uint64
+	Write bool
+}
+
+// SimResult reports a timing-simulation outcome.
+type SimResult struct {
+	Ops       int
+	Cycles    uint64
+	OpsPerSec float64
+	Forwarded uint64 // ops completed by data forwarding (OoO only)
+	Stalls    uint64 // issue stalls due to key conflicts (stall mode)
+}
+
+type simEntry struct {
+	key    uint64
+	chain  int  // dependent ops waiting in the reservation station
+	chainW bool // chain contains a write
+	headW  bool
+	doneAt uint64
+}
+
+type completionHeap []*simEntry
+
+func (h completionHeap) Len() int           { return len(h) }
+func (h completionHeap) Less(i, j int) bool { return h[i].doneAt < h[j].doneAt }
+func (h completionHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)        { *h = append(*h, x.(*simEntry)) }
+func (h *completionHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Simulate runs the op stream through the pipeline timing model and
+// returns the sustained throughput. The model:
+//
+//   - the decoder issues at most one operation per clock cycle;
+//   - an operation entering the main pipeline completes MemLatencyCycles
+//     later (one memory round trip);
+//   - OoO mode: an op whose reservation-station slot is busy chains
+//     behind it; when the head completes, chained ops execute by data
+//     forwarding at one per cycle, after which a dirty value writes back
+//     (another pipeline traversal that overlaps new arrivals);
+//   - stall mode: an op that conflicts with an in-flight op (same key,
+//     and at least one of the two is a write) blocks the whole pipeline
+//     until the conflict clears — the paper's baseline;
+//   - at most Window operations are in flight at once.
+func (cfg SimConfig) Simulate(ops []SimOp) SimResult {
+	entries := map[uint64]*simEntry{} // keyed by RS slot (OoO) or key (stall)
+	var compl completionHeap
+	var cycle uint64
+	inflight := 0
+	completed := 0
+	var forwarded, stalls uint64
+
+	slotOf := func(key uint64) uint64 {
+		if cfg.OoO {
+			return key % uint64(cfg.RSSlots)
+		}
+		return key
+	}
+
+	// pop processes the earliest completion, advancing the clock to it.
+	pop := func() {
+		e := heap.Pop(&compl).(*simEntry)
+		if e.doneAt > cycle {
+			cycle = e.doneAt
+		}
+		completed++ // head op
+		inflight--
+		if e.chain > 0 {
+			// Forward chained ops. Each already consumed its one issue
+			// cycle at decode time; the forwarding execution unit runs in
+			// a separate pipeline stage, so draining the chain overlaps
+			// new arrivals (this is what lets single-key atomics sustain
+			// one operation per clock cycle).
+			forwarded += uint64(e.chain)
+			completed += e.chain
+			inflight -= e.chain
+			if e.chainW {
+				// Dirty value: write back. The write-back occupies the
+				// pipeline but overlaps subsequent arrivals; the slot
+				// frees when it completes. Model: slot stays busy
+				// (without chain) for another latency.
+				e.chain = 0
+				e.chainW = false
+				e.headW = true
+				e.doneAt = cycle + uint64(cfg.MemLatencyCycles)
+				heap.Push(&compl, e)
+				// The write-back is not a client op: compensate counters.
+				completed--
+				inflight++
+				return
+			}
+			e.chain = 0
+		}
+		delete(entries, slotOf(e.key))
+	}
+
+	for _, op := range ops {
+		// Respect the in-flight window.
+		for inflight >= cfg.Window && len(compl) > 0 {
+			pop()
+		}
+		slot := slotOf(op.Key)
+		if e, busy := entries[slot]; busy {
+			if cfg.OoO {
+				// Chain in the reservation station; issue costs a cycle.
+				e.chain++
+				e.chainW = e.chainW || op.Write
+				inflight++
+				cycle++
+				continue
+			}
+			// Stall mode: reads may overlap reads; otherwise block until
+			// the conflicting op completes.
+			if op.Write || e.headW || e.chainW {
+				stalls++
+				for {
+					stillBusy := entries[slot] == e
+					if !stillBusy || len(compl) == 0 {
+						break
+					}
+					pop()
+				}
+			} else {
+				// Read under read: proceed as an independent pipeline op
+				// sharing the slot's completion bookkeeping.
+				e.chain++
+				inflight++
+				cycle++
+				continue
+			}
+		}
+		e := &simEntry{key: op.Key, headW: op.Write,
+			doneAt: cycle + uint64(cfg.MemLatencyCycles)}
+		entries[slot] = e
+		heap.Push(&compl, e)
+		inflight++
+		cycle++ // one issue per clock cycle
+	}
+	for len(compl) > 0 {
+		pop()
+	}
+
+	res := SimResult{
+		Ops:       len(ops),
+		Cycles:    cycle,
+		Forwarded: forwarded,
+		Stalls:    stalls,
+	}
+	if cycle > 0 {
+		res.OpsPerSec = float64(len(ops)) / (float64(cycle) / cfg.ClockHz)
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package pcie
+
+import (
+	"testing"
+
+	"kvdirect/internal/sim"
+)
+
+func TestDualEndpointsDoubleThroughput(t *testing.T) {
+	c := DefaultConfig()
+	one := c.SimulateDual(20000, 256, 64, 1, false, sim.NewRNG(1))
+	two := c.SimulateDual(20000, 256, 64, 2, false, sim.NewRNG(1))
+	ratio := two.OpsPerSec / one.OpsPerSec
+	if ratio < 1.85 || ratio > 2.1 {
+		t.Errorf("2-endpoint scaling = %.2fx (%.1f vs %.1f Mops), want ~2x",
+			ratio, two.OpsPerSec/1e6, one.OpsPerSec/1e6)
+	}
+	// Paper budget: two endpoints sustain ~120 Mops of 64 B reads.
+	if two.OpsPerSec < 110e6 || two.OpsPerSec > 130e6 {
+		t.Errorf("dual 64 B read rate = %.1f Mops, want ~120", two.OpsPerSec/1e6)
+	}
+}
+
+func TestDualMatchesSingleEndpointSim(t *testing.T) {
+	c := DefaultConfig()
+	single := c.SimulateRandomAccess(20000, 256, 64, false, sim.NewRNG(2))
+	dualAsOne := c.SimulateDual(20000, 256, 64, 1, false, sim.NewRNG(2))
+	ratio := dualAsOne.OpsPerSec / single.OpsPerSec
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Errorf("1-endpoint dual sim diverges from single sim: %.2f", ratio)
+	}
+}
+
+func TestDualLoadBalanced(t *testing.T) {
+	c := DefaultConfig()
+	res := c.SimulateDual(20000, 256, 64, 2, false, sim.NewRNG(3))
+	if res.Imbalance > 1.02 {
+		t.Errorf("endpoint imbalance = %.3f, want ~1 (least-loaded dispatch)", res.Imbalance)
+	}
+	if res.PerEP[0]+res.PerEP[1] != 20000 {
+		t.Errorf("served %d + %d != 20000", res.PerEP[0], res.PerEP[1])
+	}
+}
+
+func TestDualWrites(t *testing.T) {
+	c := DefaultConfig()
+	res := c.SimulateDual(20000, 256, 64, 2, true, sim.NewRNG(4))
+	// Two endpoints of posted 64 B writes ≈ 2 x 87 Mops.
+	if res.OpsPerSec < 160e6 || res.OpsPerSec > 185e6 {
+		t.Errorf("dual 64 B write rate = %.1f Mops, want ~175", res.OpsPerSec/1e6)
+	}
+}
+
+func TestDualLatencyUnchangedByEndpointCount(t *testing.T) {
+	// Adding endpoints adds bandwidth, not per-request speed.
+	c := DefaultConfig()
+	one := c.SimulateDual(10000, 32, 64, 1, false, sim.NewRNG(5))
+	four := c.SimulateDual(10000, 32, 64, 4, false, sim.NewRNG(5))
+	p50a, p50b := one.Latency.Percentile(50), four.Latency.Percentile(50)
+	if p50b > p50a*1.1 {
+		t.Errorf("median latency grew with endpoints: %.0f -> %.0f ns", p50a, p50b)
+	}
+}

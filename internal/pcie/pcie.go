@@ -1,0 +1,193 @@
+// Package pcie models a PCIe Gen3 x8 endpoint as seen by the KV-Direct
+// NIC's DMA engine (paper §2.4, Figure 3): transport-layer packet overhead,
+// credit-based flow control, the 64-tag read concurrency limit, and the
+// cached/random DMA latency distribution.
+//
+// Two views are provided:
+//
+//   - analytic curves (ReadOpsPerSec/WriteOpsPerSec) that reproduce
+//     Figure 3a from first principles, and
+//   - an event-driven DMA engine simulation (SimulateRandomAccess) that
+//     derives the same curves from per-request behaviour and produces the
+//     latency CDF of Figure 3b.
+package pcie
+
+import (
+	"math"
+
+	"kvdirect/internal/sim"
+	"kvdirect/internal/stats"
+)
+
+// Config captures one PCIe Gen3 x8 endpoint's parameters. The zero value is
+// not useful; use DefaultConfig.
+type Config struct {
+	LinkBytesPerSec   float64 // theoretical link bandwidth (7.87 GB/s)
+	TLPHeaderBytes    int     // TLP header + padding (26 B, 64-bit addressing)
+	CachedReadNs      float64 // DMA read latency when host cache hits (800 ns)
+	RandomExtraMeanNs float64 // mean extra latency for non-cached reads (250 ns)
+	WriteRTTNs        float64 // posted-write credit turnaround (~link RTT, 500 ns)
+	ReadTags          int     // DMA tags limiting read concurrency (64)
+	PostedCredits     int     // TLP posted header credits for writes (88)
+	NonPostedCredits  int     // TLP non-posted header credits for reads (84)
+}
+
+// DefaultConfig returns the paper's measured endpoint parameters.
+func DefaultConfig() Config {
+	return Config{
+		LinkBytesPerSec:   7.87e9,
+		TLPHeaderBytes:    26,
+		CachedReadNs:      800,
+		RandomExtraMeanNs: 250,
+		WriteRTTNs:        500,
+		ReadTags:          64,
+		PostedCredits:     88,
+		NonPostedCredits:  84,
+	}
+}
+
+// AvgReadLatencyNs returns the mean random (non-cached) DMA read latency.
+func (c Config) AvgReadLatencyNs() float64 {
+	return c.CachedReadNs + c.RandomExtraMeanNs
+}
+
+// readConcurrency returns the effective read concurrency limit: the DMA
+// engine's tag count, further capped by non-posted header credits.
+func (c Config) readConcurrency() int {
+	n := c.ReadTags
+	if c.NonPostedCredits < n {
+		n = c.NonPostedCredits
+	}
+	return n
+}
+
+// ReadOpsPerSec returns the analytic random DMA read rate for the given
+// payload size: min(link bandwidth over payload+TLP header, concurrency
+// over latency). This is the read curve of Figure 3a.
+func (c Config) ReadOpsPerSec(payloadBytes int) float64 {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	bw := c.LinkBytesPerSec / float64(payloadBytes+c.TLPHeaderBytes)
+	conc := float64(c.readConcurrency()) / (c.AvgReadLatencyNs() * 1e-9)
+	return math.Min(bw, conc)
+}
+
+// WriteOpsPerSec returns the analytic DMA write rate. Writes are posted
+// (no completion round trip) so they are bandwidth-bound until the posted
+// header credit pool throttles them. This is the write curve of Figure 3a.
+func (c Config) WriteOpsPerSec(payloadBytes int) float64 {
+	if payloadBytes <= 0 {
+		return 0
+	}
+	bw := c.LinkBytesPerSec / float64(payloadBytes+c.TLPHeaderBytes)
+	conc := float64(c.PostedCredits) / (c.WriteRTTNs * 1e-9)
+	return math.Min(bw, conc)
+}
+
+// ConcurrencyToSaturate returns the number of in-flight 64 B read requests
+// needed to keep the link busy (paper: 92 at 1050 ns).
+func (c Config) ConcurrencyToSaturate(payloadBytes int) int {
+	perReqNs := float64(payloadBytes+c.TLPHeaderBytes) / c.LinkBytesPerSec * 1e9
+	return int(math.Ceil(c.AvgReadLatencyNs() / perReqNs))
+}
+
+// SampleReadLatencyNs draws one random-read latency: the 800 ns cached base
+// plus an exponential extra with the configured mean (DRAM access, refresh
+// and PCIe response reordering), truncated at 4x the mean so the tail stays
+// within Figure 3b's ~2 µs range.
+func (c Config) SampleReadLatencyNs(rng *sim.RNG) float64 {
+	extra := rng.Exp(c.RandomExtraMeanNs)
+	if max := 4 * c.RandomExtraMeanNs; extra > max {
+		extra = max
+	}
+	return c.CachedReadNs + extra
+}
+
+// SimResult reports an event-driven DMA simulation outcome.
+type SimResult struct {
+	OpsPerSec float64
+	Latency   *stats.Sample // per-request latency in ns (reads only)
+	Requests  int
+	ElapsedNs float64
+	Saturated bool // true if the link (not tags/credits) was the bottleneck
+}
+
+// SimulateRandomAccess runs an event-driven simulation of nRequests random
+// DMA accesses of payloadBytes at the given offered concurrency (in-flight
+// window). For reads, concurrency is additionally capped by tags and
+// non-posted credits; for writes, by posted credits.
+//
+// The model: each request occupies the link for (payload+header)/bandwidth
+// seconds (serialized), then completes after a sampled latency (reads) or
+// the posted-write turnaround (writes); its completion releases one window
+// slot.
+func (c Config) SimulateRandomAccess(nRequests, concurrency, payloadBytes int, write bool, rng *sim.RNG) SimResult {
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	limit := concurrency
+	if write {
+		if c.PostedCredits < limit {
+			limit = c.PostedCredits
+		}
+	} else {
+		if rc := c.readConcurrency(); rc < limit {
+			limit = rc
+		}
+	}
+
+	var clk sim.Clock
+	q := sim.NewEventQueue()
+	lat := stats.NewSample(nRequests)
+
+	perReqLinkNs := float64(payloadBytes+c.TLPHeaderBytes) / c.LinkBytesPerSec * 1e9
+	linkFree := 0.0 // next time the link can start serializing a TLP
+	issued := 0
+	completed := 0
+	inflight := 0
+	linkBusyNs := 0.0
+
+	var tryIssue func()
+	tryIssue = func() {
+		for issued < nRequests && inflight < limit {
+			start := math.Max(clk.Now(), linkFree)
+			linkFree = start + perReqLinkNs
+			linkBusyNs += perReqLinkNs
+			var done float64
+			if write {
+				done = linkFree + c.WriteRTTNs
+			} else {
+				done = linkFree + c.SampleReadLatencyNs(rng)
+			}
+			issueTime := clk.Now()
+			issued++
+			inflight++
+			q.Schedule(done, func() {
+				completed++
+				inflight--
+				if !write {
+					lat.Add(clk.Now() - issueTime)
+				}
+				tryIssue()
+			})
+		}
+	}
+
+	tryIssue()
+	for q.RunNext(&clk) {
+	}
+
+	elapsed := clk.Now()
+	res := SimResult{
+		Latency:   lat,
+		Requests:  completed,
+		ElapsedNs: elapsed,
+	}
+	if elapsed > 0 {
+		res.OpsPerSec = float64(completed) / (elapsed * 1e-9)
+	}
+	// Link saturated if it was busy for (almost) the whole run.
+	res.Saturated = linkBusyNs >= 0.95*elapsed
+	return res
+}

@@ -1,0 +1,185 @@
+package pcie
+
+import (
+	"math"
+	"testing"
+
+	"kvdirect/internal/sim"
+)
+
+func TestRead64BMatchesPaperFigure3a(t *testing.T) {
+	c := DefaultConfig()
+	got := c.ReadOpsPerSec(64)
+	// Paper: 64 tags at 1050 ns renders ~60 Mops.
+	if got < 55e6 || got > 65e6 {
+		t.Errorf("analytic 64 B read = %.1f Mops, want ~60", got/1e6)
+	}
+}
+
+func TestWriteNearTheoretical64B(t *testing.T) {
+	c := DefaultConfig()
+	got := c.WriteOpsPerSec(64)
+	// Paper: theoretical 64 B throughput 5.6 GB/s = 87 Mops.
+	if got < 80e6 || got > 90e6 {
+		t.Errorf("analytic 64 B write = %.1f Mops, want ~87", got/1e6)
+	}
+}
+
+func TestWritesFasterThanReadsSmallPayloads(t *testing.T) {
+	c := DefaultConfig()
+	for _, sz := range []int{16, 32, 64} {
+		if c.WriteOpsPerSec(sz) <= c.ReadOpsPerSec(sz) {
+			t.Errorf("at %d B writes (%.1fM) should beat reads (%.1fM)",
+				sz, c.WriteOpsPerSec(sz)/1e6, c.ReadOpsPerSec(sz)/1e6)
+		}
+	}
+}
+
+func TestLargePayloadBandwidthBound(t *testing.T) {
+	c := DefaultConfig()
+	// At 512 B both directions converge to the bandwidth curve.
+	r, w := c.ReadOpsPerSec(512), c.WriteOpsPerSec(512)
+	bw := c.LinkBytesPerSec / float64(512+c.TLPHeaderBytes)
+	if math.Abs(r-bw) > 1 || math.Abs(w-bw) > 1 {
+		t.Errorf("512 B r=%g w=%g, want bandwidth bound %g", r, w, bw)
+	}
+}
+
+func TestConcurrencyToSaturateMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	// Paper: 92 concurrent 64 B reads needed at 1050 ns latency.
+	got := c.ConcurrencyToSaturate(64)
+	if got < 88 || got > 96 {
+		t.Errorf("ConcurrencyToSaturate(64) = %d, want ~92", got)
+	}
+}
+
+func TestSampleLatencyRange(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		l := c.SampleReadLatencyNs(rng)
+		if l < c.CachedReadNs {
+			t.Fatalf("latency %g below cached floor %g", l, c.CachedReadNs)
+		}
+		if l > c.CachedReadNs+4*c.RandomExtraMeanNs+1 {
+			t.Fatalf("latency %g above truncation", l)
+		}
+	}
+}
+
+func TestSampleLatencyMeanMatchesPaper(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(2)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += c.SampleReadLatencyNs(rng)
+	}
+	mean := sum / n
+	// ~800 + ~250 (slightly less due to truncation) = ~1030-1060 ns.
+	if mean < 1000 || mean > 1080 {
+		t.Errorf("mean latency = %.0f ns, want ~1050", mean)
+	}
+}
+
+func TestSimulatedReadsMatchAnalytic(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(3)
+	res := c.SimulateRandomAccess(20000, 256, 64, false, rng)
+	analytic := c.ReadOpsPerSec(64)
+	if ratio := res.OpsPerSec / analytic; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("simulated 64 B reads %.1f Mops vs analytic %.1f Mops (ratio %.2f)",
+			res.OpsPerSec/1e6, analytic/1e6, ratio)
+	}
+	if res.Saturated {
+		t.Error("64 B reads should be tag-bound, not link-saturated")
+	}
+}
+
+func TestSimulatedWritesSaturateLink(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(4)
+	res := c.SimulateRandomAccess(20000, 256, 64, true, rng)
+	analytic := c.WriteOpsPerSec(64)
+	if ratio := res.OpsPerSec / analytic; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("simulated 64 B writes %.1f Mops vs analytic %.1f Mops",
+			res.OpsPerSec/1e6, analytic/1e6)
+	}
+	if !res.Saturated {
+		t.Error("64 B posted writes should saturate the link")
+	}
+}
+
+func TestSimThroughputRisesWithConcurrencyThenPlateaus(t *testing.T) {
+	c := DefaultConfig()
+	prev := 0.0
+	rates := map[int]float64{}
+	for _, conc := range []int{1, 8, 32, 64, 128} {
+		rng := sim.NewRNG(5)
+		res := c.SimulateRandomAccess(8000, conc, 64, false, rng)
+		rates[conc] = res.OpsPerSec
+		if conc <= 64 && res.OpsPerSec < prev*0.99 {
+			t.Errorf("throughput fell at concurrency %d: %.1f < %.1f Mops",
+				conc, res.OpsPerSec/1e6, prev/1e6)
+		}
+		prev = res.OpsPerSec
+	}
+	// Past 64 tags, extra offered concurrency gains nothing.
+	if rates[128] > rates[64]*1.02 {
+		t.Errorf("tags should cap concurrency: 64→%.1f, 128→%.1f Mops",
+			rates[64]/1e6, rates[128]/1e6)
+	}
+	// Single-request-at-a-time is roughly 1/latency.
+	want := 1e9 / c.AvgReadLatencyNs()
+	if r := rates[1]; r < want*0.8 || r > want*1.2 {
+		t.Errorf("concurrency-1 rate %.2f Mops, want ~%.2f", r/1e6, want/1e6)
+	}
+}
+
+func TestSimLatencyCDFShape(t *testing.T) {
+	// Figure 3b: latencies between ~800 ns and ~2 µs, median ~1 µs.
+	c := DefaultConfig()
+	rng := sim.NewRNG(6)
+	res := c.SimulateRandomAccess(20000, 64, 64, false, rng)
+	p5 := res.Latency.Percentile(5)
+	p50 := res.Latency.Percentile(50)
+	p95 := res.Latency.Percentile(95)
+	if p5 < c.CachedReadNs {
+		t.Errorf("P5 latency %.0f below cached base", p5)
+	}
+	if p50 < 900 || p50 > 1200 {
+		t.Errorf("median latency %.0f ns, want ~1000", p50)
+	}
+	if p95 > 2500 {
+		t.Errorf("P95 latency %.0f ns, want < 2.5 µs", p95)
+	}
+	if !(p5 < p50 && p50 < p95) {
+		t.Errorf("percentiles not ordered: %g %g %g", p5, p50, p95)
+	}
+}
+
+func TestSimCompletesAllRequests(t *testing.T) {
+	c := DefaultConfig()
+	rng := sim.NewRNG(7)
+	res := c.SimulateRandomAccess(1234, 10, 64, false, rng)
+	if res.Requests != 1234 {
+		t.Errorf("completed %d, want 1234", res.Requests)
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	c := DefaultConfig()
+	a := c.SimulateRandomAccess(5000, 64, 64, false, sim.NewRNG(9))
+	b := c.SimulateRandomAccess(5000, 64, 64, false, sim.NewRNG(9))
+	if a.OpsPerSec != b.OpsPerSec || a.ElapsedNs != b.ElapsedNs {
+		t.Error("simulation is not deterministic for equal seeds")
+	}
+}
+
+func TestZeroPayload(t *testing.T) {
+	c := DefaultConfig()
+	if c.ReadOpsPerSec(0) != 0 || c.WriteOpsPerSec(-4) != 0 {
+		t.Error("non-positive payloads should return 0")
+	}
+}

@@ -1,0 +1,87 @@
+package slab
+
+// Daemon is the host-CPU side of the slab allocator (paper §4, Figure 8):
+// it periodically checks the host-side double-ended stacks and triggers
+// slab splitting when a pool runs low (so the NIC never waits for a
+// split) and lazy merging when free slabs pile up. In the paper this is
+// "the daemon process on CPU" whose power draw is part of the 34 W delta;
+// here Tick is invoked explicitly between operations — the allocator is
+// single-owner, like the hardware's one DMA-side consumer per stack end.
+type Daemon struct {
+	a *Allocator
+
+	// SplitLow: when a class's host pool falls below this many entries,
+	// split larger slabs to refill it up to RefillTarget.
+	SplitLow int
+	// RefillTarget: post-split pool size goal.
+	RefillTarget int
+	// MergeHigh: when a class's host pool exceeds this many entries,
+	// merge its buddies upward.
+	MergeHigh int
+	// Workers and Algo configure the merge pass.
+	Workers int
+	Algo    MergeAlgo
+}
+
+// NewDaemon returns a daemon with watermarks scaled to the allocator's
+// batch size.
+func NewDaemon(a *Allocator) *Daemon {
+	return &Daemon{
+		a:            a,
+		SplitLow:     2 * a.opts.Batch,
+		RefillTarget: 8 * a.opts.Batch,
+		MergeHigh:    1024,
+		Workers:      1,
+		Algo:         MergeRadixAlgo,
+	}
+}
+
+// TickResult reports one maintenance pass.
+type TickResult struct {
+	Splits      int // split operations performed
+	MergedPairs int // buddy pairs merged upward
+}
+
+// Tick runs one maintenance pass over all classes.
+func (d *Daemon) Tick() TickResult {
+	var res TickResult
+	// Split pass: top-down so refilling a class can draw from the one
+	// above it, which was just refilled itself. A pool below SplitLow is
+	// topped up to RefillTarget (hysteresis keeps ticks idempotent).
+	for c := NumClasses - 2; c >= 0; c-- {
+		if len(d.a.host[c]) >= d.SplitLow {
+			continue
+		}
+		for len(d.a.host[c]) < d.RefillTarget {
+			before := d.a.stats.Splits
+			d.a.splitInto(c)
+			if d.a.stats.Splits == before {
+				break // nothing left to split from
+			}
+			res.Splits++
+		}
+	}
+	// Merge pass: bottom-up, only for overfull pools (lazy merging).
+	for c := 0; c < NumClasses-1; c++ {
+		if len(d.a.host[c]) <= d.MergeHigh {
+			continue
+		}
+		offs := entriesToOffsets(d.a.host[c])
+		var merged, rest []uint64
+		if d.Algo == MergeBitmapAlgo {
+			merged, rest = MergeBitmap(offs, uint64(Sizes[c]), d.a.region.Size)
+		} else {
+			merged, rest = MergeRadix(offs, uint64(Sizes[c]), d.Workers)
+		}
+		d.a.host[c] = offsetsToEntries(rest)
+		for _, off := range merged {
+			d.a.host[c+1] = append(d.a.host[c+1], entry(off))
+		}
+		res.MergedPairs += len(merged)
+		d.a.stats.MergedPairs += uint64(len(merged))
+	}
+	if res.MergedPairs > 0 {
+		d.a.stats.MergeRuns++
+	}
+	return res
+}

@@ -1,0 +1,131 @@
+package slab
+
+import (
+	"testing"
+
+	"kvdirect/internal/memory"
+)
+
+func TestDaemonSplitsLowPools(t *testing.T) {
+	a := New(memory.Partition{Base: 0, Size: 1 << 16}, Options{})
+	d := NewDaemon(a)
+	// Fresh allocator: only the 512 B class is populated.
+	host, _ := a.PoolSizes()
+	for c := 0; c < NumClasses-1; c++ {
+		if host[c] != 0 {
+			t.Fatalf("class %d pre-populated", c)
+		}
+	}
+	res := d.Tick()
+	if res.Splits == 0 {
+		t.Fatal("daemon performed no splits")
+	}
+	host, _ = a.PoolSizes()
+	for c := 0; c < NumClasses-1; c++ {
+		if host[c] < d.SplitLow {
+			t.Errorf("class %d pool %d still below SplitLow %d", c, host[c], d.SplitLow)
+		}
+	}
+	// Allocations of every class now succeed without on-demand splitting.
+	before := a.Stats().Splits
+	for _, n := range []int{20, 50, 100, 200, 500} {
+		if _, err := a.Alloc(n); err != nil {
+			t.Fatalf("alloc %d after daemon tick: %v", n, err)
+		}
+	}
+	if a.Stats().Splits != before {
+		t.Error("allocations still triggered on-demand splits after daemon refill")
+	}
+}
+
+func TestDaemonMergesOverfullPools(t *testing.T) {
+	a := New(memory.Partition{Base: 0, Size: 1 << 18}, Options{})
+	// Fragment everything into 32 B slabs, then free them all.
+	var addrs []uint64
+	for {
+		addr, err := a.Alloc(32)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, addr)
+	}
+	for _, addr := range addrs {
+		a.Free(addr, 32)
+	}
+	d := NewDaemon(a)
+	d.MergeHigh = 16 // force the merge pass
+	res := d.Tick()
+	if res.MergedPairs == 0 {
+		t.Fatal("daemon merged nothing despite overfull pools")
+	}
+	// Repeated ticks converge: eventually pools sit between watermarks.
+	for i := 0; i < 8; i++ {
+		d.Tick()
+	}
+	if _, err := a.Alloc(512); err != nil {
+		t.Fatalf("512 B alloc after daemon merging: %v", err)
+	}
+}
+
+func TestDaemonIdempotentWhenBalanced(t *testing.T) {
+	a := New(memory.Partition{Base: 0, Size: 1 << 16}, Options{})
+	d := NewDaemon(a)
+	d.Tick()
+	res := d.Tick()
+	if res.Splits != 0 {
+		t.Errorf("second tick split %d more times", res.Splits)
+	}
+}
+
+func TestDaemonPreservesInvariant(t *testing.T) {
+	a := New(memory.Partition{Base: 0, Size: 1 << 16}, Options{})
+	carved := a.FreeBytes()
+	d := NewDaemon(a)
+	d.MergeHigh = 8
+	for i := 0; i < 5; i++ {
+		d.Tick()
+		if a.FreeBytes() != carved {
+			t.Fatalf("tick %d changed free bytes: %d != %d", i, a.FreeBytes(), carved)
+		}
+	}
+	// Allocate/free churn interleaved with ticks keeps accounting exact.
+	var live []uint64
+	for i := 0; i < 200; i++ {
+		if addr, err := a.Alloc(64); err == nil {
+			live = append(live, addr)
+		}
+		if i%10 == 9 {
+			d.Tick()
+		}
+	}
+	for _, addr := range live {
+		a.Free(addr, 64)
+	}
+	for i := 0; i < 5; i++ {
+		d.Tick()
+	}
+	if a.FreeBytes() != carved {
+		t.Fatalf("after churn: free bytes %d != %d", a.FreeBytes(), carved)
+	}
+}
+
+func TestDaemonBitmapAlgo(t *testing.T) {
+	a := New(memory.Partition{Base: 0, Size: 1 << 16}, Options{})
+	var addrs []uint64
+	for {
+		addr, err := a.Alloc(32)
+		if err != nil {
+			break
+		}
+		addrs = append(addrs, addr)
+	}
+	for _, addr := range addrs {
+		a.Free(addr, 32)
+	}
+	d := NewDaemon(a)
+	d.Algo = MergeBitmapAlgo
+	d.MergeHigh = 16
+	if res := d.Tick(); res.MergedPairs == 0 {
+		t.Fatal("bitmap daemon merged nothing")
+	}
+}

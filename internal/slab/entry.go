@@ -1,0 +1,95 @@
+package slab
+
+import "fmt"
+
+// Wire format of a slab entry as synchronized between the NIC cache and
+// the host pools (paper §3.3.2): a 31-bit address field (32 B granules,
+// addressing up to 64 GiB) plus a 3-bit slab-type field. Including the
+// type in the entry is what makes slab splitting a pure entry copy — no
+// computation, and one entry can travel in any pool's DMA batch. Twelve
+// 5-byte entries ride in one 64 B DMA transfer (EntriesPerDMA).
+
+// EntryBytes is the encoded size of one slab entry.
+const EntryBytes = 5
+
+const (
+	entryAddrBits = 31
+	entryAddrMask = (1 << entryAddrBits) - 1
+)
+
+// EncodeEntry packs a slab offset (bytes, 32 B-aligned) and class into the
+// 5-byte wire form. It panics on misaligned offsets or out-of-range
+// values — these indicate allocator bugs, not recoverable conditions.
+func EncodeEntry(dst []byte, offset uint64, class int) {
+	if offset%MinSlab != 0 {
+		panic(fmt.Sprintf("slab: entry offset %d not %d-byte aligned", offset, MinSlab))
+	}
+	granule := offset / MinSlab
+	if granule > entryAddrMask {
+		panic(fmt.Sprintf("slab: entry offset %d exceeds 31-bit granule space", offset))
+	}
+	if class < 0 || class >= NumClasses {
+		panic(fmt.Sprintf("slab: entry class %d out of range", class))
+	}
+	v := granule | uint64(class)<<entryAddrBits
+	for i := 0; i < EntryBytes; i++ {
+		dst[i] = byte(v >> (8 * i))
+	}
+}
+
+// DecodeEntry unpacks a 5-byte wire entry.
+func DecodeEntry(src []byte) (offset uint64, class int, err error) {
+	var v uint64
+	for i := 0; i < EntryBytes; i++ {
+		v |= uint64(src[i]) << (8 * i)
+	}
+	granule := v & entryAddrMask
+	class = int(v >> entryAddrBits & 0x7)
+	if class >= NumClasses {
+		return 0, 0, fmt.Errorf("slab: entry has invalid class %d", class)
+	}
+	return granule * MinSlab, class, nil
+}
+
+// EncodeBatch packs up to EntriesPerDMA entries of one class into a 64 B
+// DMA payload, returning the buffer and the count packed.
+func EncodeBatch(offsets []uint64, class int) ([]byte, int) {
+	n := len(offsets)
+	if n > EntriesPerDMA {
+		n = EntriesPerDMA
+	}
+	buf := make([]byte, 64)
+	for i := 0; i < n; i++ {
+		EncodeEntry(buf[i*EntryBytes:], offsets[i], class)
+	}
+	// Remaining slots are marked with an invalid class so decoders can
+	// detect the batch length.
+	for i := n; i < EntriesPerDMA; i++ {
+		for j := 0; j < EntryBytes; j++ {
+			buf[i*EntryBytes+j] = 0xFF
+		}
+	}
+	return buf, n
+}
+
+// DecodeBatch unpacks a 64 B sync payload, stopping at the first invalid
+// entry (the batch-length sentinel).
+func DecodeBatch(buf []byte) (offsets []uint64, class int, err error) {
+	class = -1
+	for i := 0; i < EntriesPerDMA; i++ {
+		off, c, err := DecodeEntry(buf[i*EntryBytes:])
+		if err != nil {
+			break // sentinel
+		}
+		if class == -1 {
+			class = c
+		} else if c != class {
+			return nil, 0, fmt.Errorf("slab: mixed classes in one batch (%d and %d)", class, c)
+		}
+		offsets = append(offsets, off)
+	}
+	if class == -1 {
+		class = 0
+	}
+	return offsets, class, nil
+}

@@ -1,0 +1,171 @@
+package slab
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEntryRoundTrip(t *testing.T) {
+	buf := make([]byte, EntryBytes)
+	for class := 0; class < NumClasses; class++ {
+		for _, off := range []uint64{0, 32, 4096, 1 << 20, (1<<31 - 1) * 32} {
+			EncodeEntry(buf, off, class)
+			gotOff, gotClass, err := DecodeEntry(buf)
+			if err != nil || gotOff != off || gotClass != class {
+				t.Fatalf("round trip (%d,%d) -> (%d,%d,%v)", off, class, gotOff, gotClass, err)
+			}
+		}
+	}
+}
+
+func TestEntryRoundTripProperty(t *testing.T) {
+	f := func(granuleRaw uint32, classRaw uint8) bool {
+		off := (uint64(granuleRaw) & entryAddrMask) * MinSlab
+		class := int(classRaw) % NumClasses
+		buf := make([]byte, EntryBytes)
+		EncodeEntry(buf, off, class)
+		gotOff, gotClass, err := DecodeEntry(buf)
+		return err == nil && gotOff == off && gotClass == class
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeEntryPanics(t *testing.T) {
+	buf := make([]byte, EntryBytes)
+	for name, fn := range map[string]func(){
+		"misaligned": func() { EncodeEntry(buf, 17, 0) },
+		"bad class":  func() { EncodeEntry(buf, 32, NumClasses) },
+		"huge":       func() { EncodeEntry(buf, uint64(1)<<36*32, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDecodeEntryInvalidClass(t *testing.T) {
+	buf := []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := DecodeEntry(buf); err == nil {
+		t.Error("sentinel entry decoded without error")
+	}
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	offs := []uint64{0, 64, 128, 4096, 32}
+	buf, n := EncodeBatch(offs, 2)
+	if n != len(offs) {
+		t.Fatalf("packed %d, want %d", n, len(offs))
+	}
+	if len(buf) != 64 {
+		t.Fatalf("batch buffer %d bytes, want 64 (one DMA)", len(buf))
+	}
+	got, class, err := DecodeBatch(buf)
+	if err != nil || class != 2 || len(got) != len(offs) {
+		t.Fatalf("decode: %v class=%d n=%d", err, class, len(got))
+	}
+	for i := range offs {
+		if got[i] != offs[i] {
+			t.Fatalf("entry %d: %d != %d", i, got[i], offs[i])
+		}
+	}
+}
+
+func TestBatchTruncatesAtDMACapacity(t *testing.T) {
+	offs := make([]uint64, 20)
+	for i := range offs {
+		offs[i] = uint64(i) * 32
+	}
+	_, n := EncodeBatch(offs, 0)
+	if n != EntriesPerDMA {
+		t.Fatalf("packed %d entries, DMA holds %d", n, EntriesPerDMA)
+	}
+}
+
+func TestBatchFullAndEmpty(t *testing.T) {
+	full := make([]uint64, EntriesPerDMA)
+	for i := range full {
+		full[i] = uint64(i) * 32
+	}
+	buf, n := EncodeBatch(full, 1)
+	if n != EntriesPerDMA {
+		t.Fatalf("full batch packed %d", n)
+	}
+	got, _, err := DecodeBatch(buf)
+	if err != nil || len(got) != EntriesPerDMA {
+		t.Fatalf("full decode: %v %d", err, len(got))
+	}
+	buf, n = EncodeBatch(nil, 1)
+	if n != 0 {
+		t.Fatal("empty batch packed entries")
+	}
+	got, _, err = DecodeBatch(buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty decode: %v %d", err, len(got))
+	}
+}
+
+func TestBatchRejectsMixedClasses(t *testing.T) {
+	buf := make([]byte, 64)
+	EncodeEntry(buf[0:], 32, 1)
+	EncodeEntry(buf[5:], 64, 2)
+	for i := 2; i < EntriesPerDMA; i++ {
+		for j := 0; j < EntryBytes; j++ {
+			buf[i*EntryBytes+j] = 0xFF
+		}
+	}
+	if _, _, err := DecodeBatch(buf); err == nil {
+		t.Error("mixed-class batch accepted")
+	}
+}
+
+// --- micro-benchmarks of the allocator itself ---
+
+func BenchmarkAllocFree(b *testing.B) {
+	a := New(region(1<<22), Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr, err := a.Alloc(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a.Free(addr, 64)
+	}
+}
+
+func BenchmarkAllocVaried(b *testing.B) {
+	a := New(region(1<<24), Options{})
+	sizes := []int{32, 64, 100, 256, 500}
+	live := make([]uint64, 0, 1024)
+	liveSizes := make([]int, 0, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(live) >= 1024 {
+			a.Free(live[0], liveSizes[0])
+			live, liveSizes = live[1:], liveSizes[1:]
+		}
+		sz := sizes[i%len(sizes)]
+		addr, err := a.Alloc(sz)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, addr)
+		liveSizes = append(liveSizes, sz)
+	}
+}
+
+func BenchmarkEntryCodec(b *testing.B) {
+	buf := make([]byte, EntryBytes)
+	for i := 0; i < b.N; i++ {
+		EncodeEntry(buf, uint64(i%1024)*32, i%NumClasses)
+		if _, _, err := DecodeEntry(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

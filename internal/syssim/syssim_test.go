@@ -1,0 +1,139 @@
+package syssim
+
+import (
+	"math/rand"
+	"testing"
+
+	"kvdirect/internal/workload"
+)
+
+func uniformStream(keys uint64, putRatio float64, seed int64) func() Op {
+	rng := rand.New(rand.NewSource(seed))
+	return func() Op {
+		return Op{
+			Key: uint64(rng.Int63n(int64(keys))),
+			Put: rng.Float64() < putRatio,
+		}
+	}
+}
+
+func zipfStream(keys uint64, putRatio float64, seed int64) func() Op {
+	gen := workload.New(workload.Config{Keys: keys, Skew: 0.99, Seed: seed})
+	rng := rand.New(rand.NewSource(seed + 1))
+	return func() Op {
+		return Op{Key: gen.NextKey(), Put: rng.Float64() < putRatio}
+	}
+}
+
+func TestSaturatedThroughputNearMemoryBound(t *testing.T) {
+	// Uniform GETs at 1 access/op, no DRAM dispatch: the bound is the
+	// PCIe tag pool — 128 tags / ~1050 ns ≈ 120 Mops.
+	cfg := Config{GetDMAs: 1.0, DRAMShare: 0, Clients: 16, BatchOps: 40, Seed: 1}
+	res := Run(cfg, 100000, uniformStream(1<<20, 0, 2))
+	if res.Ops != 100000 {
+		t.Fatalf("completed %d", res.Ops)
+	}
+	if res.OpsPerSec < 95e6 || res.OpsPerSec > 135e6 {
+		t.Errorf("uniform GET throughput = %.1f Mops, want ~110-120", res.OpsPerSec/1e6)
+	}
+	if res.PCIeUtil < 0.7 {
+		t.Errorf("PCIe utilization = %.2f, want near saturation", res.PCIeUtil)
+	}
+}
+
+func TestDispatchLiftsThroughput(t *testing.T) {
+	base := Run(Config{GetDMAs: 1.0, DRAMShare: 0, Seed: 3}, 60000, uniformStream(1<<20, 0, 4))
+	disp := Run(Config{GetDMAs: 1.0, DRAMShare: 0.4, Seed: 3}, 60000, uniformStream(1<<20, 0, 4))
+	if disp.OpsPerSec <= base.OpsPerSec {
+		t.Errorf("DRAM dispatch should lift throughput: %.1f vs %.1f Mops",
+			disp.OpsPerSec/1e6, base.OpsPerSec/1e6)
+	}
+}
+
+func TestClockBoundWhenMemoryIsFree(t *testing.T) {
+	// Nearly everything served by (plentiful) DRAM: the decoder's one op
+	// per cycle becomes the limit.
+	cfg := Config{GetDMAs: 1.0, DRAMShare: 0.95, DRAMConcurrency: 512,
+		Clients: 64, BatchOps: 64, Seed: 5}
+	res := Run(cfg, 200000, uniformStream(1<<20, 0, 6))
+	if res.OpsPerSec < 150e6 || res.OpsPerSec > 181e6 {
+		t.Errorf("throughput = %.1f Mops, want near the 180 clock bound", res.OpsPerSec/1e6)
+	}
+	if res.DecodeBusy < 0.8 {
+		t.Errorf("decoder utilization = %.2f, want near 1", res.DecodeBusy)
+	}
+}
+
+func TestPutsCostMoreThanGets(t *testing.T) {
+	gets := Run(Config{GetDMAs: 1, PutDMAs: 2, Seed: 7}, 60000, uniformStream(1<<20, 0, 8))
+	puts := Run(Config{GetDMAs: 1, PutDMAs: 2, Seed: 7}, 60000, uniformStream(1<<20, 1, 8))
+	if puts.OpsPerSec >= gets.OpsPerSec {
+		t.Errorf("PUTs (%.1f Mops) should be slower than GETs (%.1f)",
+			puts.OpsPerSec/1e6, gets.OpsPerSec/1e6)
+	}
+	if puts.Latency.Percentile(50) <= gets.Latency.Percentile(50) {
+		t.Error("PUT latency should exceed GET latency")
+	}
+}
+
+func TestLatencyInPaperBallpark(t *testing.T) {
+	// Figure 17 territory: a moderately loaded system sees 3-10 us
+	// end-to-end (network + pipeline + memory).
+	cfg := Config{GetDMAs: 1.2, DRAMShare: 0.2, Clients: 4, BatchOps: 16, Seed: 9}
+	res := Run(cfg, 50000, uniformStream(1<<20, 0.05, 10))
+	p50 := res.Latency.Percentile(50) / 1000
+	p95 := res.Latency.Percentile(95) / 1000
+	if p50 < 2 || p50 > 10 {
+		t.Errorf("P50 latency = %.2f us, want 2-10", p50)
+	}
+	if p95 < p50 || p95 > 20 {
+		t.Errorf("P95 latency = %.2f us, want %.2f-20", p95, p50)
+	}
+}
+
+func TestHotKeysForwarded(t *testing.T) {
+	// A Zipf stream produces reservation-station forwarding; a uniform
+	// stream over a huge key space barely any.
+	zipf := Run(Config{Seed: 11}, 80000, zipfStream(1<<20, 0.5, 12))
+	uni := Run(Config{Seed: 11}, 80000, uniformStream(1<<20, 0.5, 12))
+	if zipf.Forwarded < 10*uni.Forwarded {
+		t.Errorf("zipf forwarded %d vs uniform %d — expected a big gap",
+			zipf.Forwarded, uni.Forwarded)
+	}
+	// Forwarding lifts throughput for skewed traffic.
+	if zipf.OpsPerSec <= uni.OpsPerSec {
+		t.Errorf("zipf %.1f Mops should beat uniform %.1f (merging)",
+			zipf.OpsPerSec/1e6, uni.OpsPerSec/1e6)
+	}
+}
+
+func TestMoreClientsMoreThroughputUntilSaturation(t *testing.T) {
+	rate := func(clients int) float64 {
+		cfg := Config{GetDMAs: 1, Clients: clients, BatchOps: 16, Seed: 13}
+		return Run(cfg, 50000, uniformStream(1<<20, 0, 14)).OpsPerSec
+	}
+	r1, r4, r16 := rate(1), rate(4), rate(16)
+	if !(r1 < r4 && r4 <= r16*1.05) {
+		t.Errorf("throughput not increasing with clients: %.1f %.1f %.1f Mops",
+			r1/1e6, r4/1e6, r16/1e6)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{Seed: 15}
+	a := Run(cfg, 20000, uniformStream(1000, 0.3, 16))
+	b := Run(cfg, 20000, uniformStream(1000, 0.3, 16))
+	if a.OpsPerSec != b.OpsPerSec || a.ElapsedNs != b.ElapsedNs {
+		t.Error("simulation not deterministic")
+	}
+}
+
+func TestAllOpsComplete(t *testing.T) {
+	res := Run(Config{Seed: 17}, 12345, zipfStream(1<<16, 0.5, 18))
+	if res.Ops != 12345 {
+		t.Fatalf("completed %d / 12345", res.Ops)
+	}
+	if res.Latency.N() != 12345 {
+		t.Fatalf("latency samples %d", res.Latency.N())
+	}
+}

@@ -1,0 +1,74 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeRequests drives the packet decoder with arbitrary bytes: it
+// must never panic, and any packet it accepts must re-encode to something
+// it accepts again (decode∘encode idempotence on the accepted set).
+func FuzzDecodeRequests(f *testing.F) {
+	seed1, _ := AppendRequests(nil, []Request{
+		{Op: OpPut, Key: []byte("key"), Value: []byte("value")},
+		{Op: OpGet, Key: []byte("key")},
+		{Op: OpReduce, Key: []byte("v"), FuncID: 1, ElemWidth: 4, Param: []byte{0, 0, 0, 0}},
+	})
+	f.Add(seed1)
+	seed2, _ := AppendRequests(nil, []Request{
+		{Op: OpPut, Key: []byte("aaaa"), Value: bytes.Repeat([]byte{7}, 64)},
+		{Op: OpPut, Key: []byte("bbbb"), Value: bytes.Repeat([]byte{7}, 64)},
+	})
+	f.Add(seed2)
+	f.Add([]byte{})
+	f.Add([]byte{0x56, 0x4B, 1, 0, 0})
+
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		reqs, err := DecodeRequests(pkt)
+		if err != nil {
+			return
+		}
+		re, err := AppendRequests(nil, reqs)
+		if err != nil {
+			t.Fatalf("accepted packet failed to re-encode: %v", err)
+		}
+		again, err := DecodeRequests(re)
+		if err != nil {
+			t.Fatalf("re-encoded packet rejected: %v", err)
+		}
+		if len(again) != len(reqs) {
+			t.Fatalf("round trip changed op count: %d -> %d", len(reqs), len(again))
+		}
+		for i := range reqs {
+			if again[i].Op != reqs[i].Op || !bytes.Equal(again[i].Key, reqs[i].Key) {
+				t.Fatalf("round trip changed op %d", i)
+			}
+			if reqs[i].Op.HasValue() && !bytes.Equal(again[i].Value, reqs[i].Value) {
+				t.Fatalf("round trip changed value %d", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponses: the response decoder must never panic.
+func FuzzDecodeResponses(f *testing.F) {
+	seed, _ := AppendResponses(nil, []Response{
+		{Status: StatusOK, Value: []byte("hello")},
+		{Status: StatusNotFound},
+	})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		resps, err := DecodeResponses(pkt)
+		if err != nil {
+			return
+		}
+		re, err := AppendResponses(nil, resps)
+		if err != nil {
+			t.Fatalf("accepted responses failed to re-encode: %v", err)
+		}
+		if _, err := DecodeResponses(re); err != nil {
+			t.Fatalf("re-encoded responses rejected: %v", err)
+		}
+	})
+}

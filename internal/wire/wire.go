@@ -1,0 +1,361 @@
+// Package wire defines KV-Direct's client/server network format (paper
+// §4 "Vector Operation Decoder", Table 1): multiple KV operations batched
+// into one packet to amortize the 88-byte RDMA-over-Ethernet framing
+// overhead, with two flag bits that let an operation reuse the previous
+// operation's key/value sizes or its entire value — the compact
+// representation that makes network batching effective (Figure 15).
+//
+// The format is deliberately simple and fixed-endian (little-endian, like
+// the FPGA decoder) so the hardware can unpack one operation per clock
+// cycle:
+//
+//	packet  := magic u16 | version u8 | count u16 | op*
+//	op      := opcode u8 | flags u8
+//	           [klen u8 | vlen u16]     unless FlagSameSizes
+//	           key [klen]
+//	           value [vlen]             if opcode carries a value and
+//	                                    not FlagSameValue
+//	           [funcID u8 | elemWidth u8 | plen u8 | param [plen]]
+//	                                    if opcode is an update/reduce/
+//	                                    filter (λ is pre-registered and
+//	                                    compiled; the wire carries only
+//	                                    its id and parameters)
+//	resp    := status u8 | vlen u16 | value [vlen]
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Packet header.
+const (
+	Magic   = 0x4B56 // "KV"
+	Version = 1
+
+	HeaderBytes = 5 // magic + version + count
+)
+
+// OpCode identifies a KV-Direct operation (Table 1).
+type OpCode uint8
+
+// Operation codes.
+const (
+	OpGet OpCode = iota + 1
+	OpPut
+	OpDelete
+	OpUpdateScalar // update_scalar2scalar: v' = λ(v, Δ), returns old v
+	OpUpdateS2V    // update_scalar2vector: per-element λ(v_i, Δ)
+	OpUpdateV2V    // update_vector2vector: per-element λ(v_i, Δ_i)
+	OpReduce       // reduce: Σ' = fold λ over elements from Σ0
+	OpFilter       // filter: keep elements where λ(v_i) is true
+	OpRegister     // register a λ: Param holds the expression source,
+	// ElemWidth 0 registers an update function, 1 a filter predicate
+	OpStats // fetch server counters (response value: key=value lines)
+	opMax
+)
+
+func (o OpCode) String() string {
+	switch o {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDelete:
+		return "DELETE"
+	case OpUpdateScalar:
+		return "UPDATE_SS"
+	case OpUpdateS2V:
+		return "UPDATE_SV"
+	case OpUpdateV2V:
+		return "UPDATE_VV"
+	case OpReduce:
+		return "REDUCE"
+	case OpFilter:
+		return "FILTER"
+	case OpRegister:
+		return "REGISTER"
+	case OpStats:
+		return "STATS"
+	default:
+		return fmt.Sprintf("OpCode(%d)", uint8(o))
+	}
+}
+
+// Valid reports whether the opcode is defined.
+func (o OpCode) Valid() bool { return o >= OpGet && o < opMax }
+
+// HasValue reports whether the op carries a value payload on the wire.
+func (o OpCode) HasValue() bool { return o == OpPut || o == OpUpdateV2V }
+
+// HasFunc reports whether the op references a registered λ.
+func (o OpCode) HasFunc() bool { return o >= OpUpdateScalar && o <= OpRegister }
+
+// Flag bits (paper: "two flag bits to allow copying key and value size,
+// or the value of the previous KV in the packet").
+const (
+	FlagSameSizes uint8 = 1 << 0
+	FlagSameValue uint8 = 1 << 1
+)
+
+// Request is one decoded KV operation.
+type Request struct {
+	Op        OpCode
+	Key       []byte
+	Value     []byte // PUT payload or UpdateV2V operand vector
+	FuncID    uint8  // registered update function
+	ElemWidth uint8  // vector element width in bytes
+	Param     []byte // scalar Δ or initial Σ (≤ 255 bytes)
+}
+
+// Response status codes.
+const (
+	StatusOK       uint8 = 0
+	StatusNotFound uint8 = 1
+	StatusError    uint8 = 2
+)
+
+// Response is one operation result.
+type Response struct {
+	Status uint8
+	Value  []byte
+}
+
+// Decoding errors.
+var (
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrTruncated   = errors.New("wire: truncated packet")
+	ErrBadOpcode   = errors.New("wire: invalid opcode")
+	ErrFirstFlags  = errors.New("wire: first op cannot reference previous op")
+	ErrKeyTooLong  = errors.New("wire: key exceeds 255 bytes")
+	ErrValTooLong  = errors.New("wire: value exceeds 65535 bytes")
+	ErrParamTooBig = errors.New("wire: param exceeds 255 bytes")
+	ErrTooManyOps  = errors.New("wire: more than 65535 ops in one packet")
+)
+
+// AppendRequests encodes reqs into one packet appended to dst, applying
+// same-size/same-value compression automatically, and returns the
+// extended buffer.
+func AppendRequests(dst []byte, reqs []Request) ([]byte, error) {
+	if len(reqs) > 0xFFFF {
+		return nil, ErrTooManyOps
+	}
+	var hdr [HeaderBytes]byte
+	binary.LittleEndian.PutUint16(hdr[0:], Magic)
+	hdr[2] = Version
+	binary.LittleEndian.PutUint16(hdr[3:], uint16(len(reqs)))
+	dst = append(dst, hdr[:]...)
+
+	var prevK, prevV int = -1, -1
+	var prevValue []byte
+	havePrevValue := false
+	for i, r := range reqs {
+		if !r.Op.Valid() {
+			return nil, ErrBadOpcode
+		}
+		if len(r.Key) > 255 {
+			return nil, ErrKeyTooLong
+		}
+		if len(r.Value) > 0xFFFF {
+			return nil, ErrValTooLong
+		}
+		if len(r.Param) > 255 {
+			return nil, ErrParamTooBig
+		}
+		vlen := 0
+		if r.Op.HasValue() {
+			vlen = len(r.Value)
+		}
+		var flags uint8
+		if i > 0 && len(r.Key) == prevK && vlen == prevV {
+			flags |= FlagSameSizes
+		}
+		if r.Op.HasValue() && havePrevValue && vlen == len(prevValue) &&
+			vlen == prevV && bytesEqual(r.Value, prevValue) {
+			// Same value as the previous op: elide the payload. The
+			// sizes flag must also hold so the decoder knows vlen.
+			if flags&FlagSameSizes != 0 {
+				flags |= FlagSameValue
+			}
+		}
+		dst = append(dst, uint8(r.Op), flags)
+		if flags&FlagSameSizes == 0 {
+			dst = append(dst, uint8(len(r.Key)))
+			var v [2]byte
+			binary.LittleEndian.PutUint16(v[:], uint16(vlen))
+			dst = append(dst, v[:]...)
+			prevK, prevV = len(r.Key), vlen
+		}
+		dst = append(dst, r.Key...)
+		if r.Op.HasValue() {
+			if flags&FlagSameValue == 0 {
+				dst = append(dst, r.Value...)
+				prevValue = r.Value
+				havePrevValue = true
+			}
+		} else {
+			havePrevValue = false
+		}
+		if r.Op.HasFunc() {
+			dst = append(dst, r.FuncID, r.ElemWidth, uint8(len(r.Param)))
+			dst = append(dst, r.Param...)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeRequests unpacks one packet. This is the software model of the
+// FPGA's vector operation decoder.
+func DecodeRequests(pkt []byte) ([]Request, error) {
+	if len(pkt) < HeaderBytes {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint16(pkt[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if pkt[2] != Version {
+		return nil, ErrBadVersion
+	}
+	count := int(binary.LittleEndian.Uint16(pkt[3:]))
+	p := pkt[HeaderBytes:]
+
+	reqs := make([]Request, 0, count)
+	var prevK, prevV int
+	var prevValue []byte
+	for i := 0; i < count; i++ {
+		if len(p) < 2 {
+			return nil, ErrTruncated
+		}
+		op, flags := OpCode(p[0]), p[1]
+		p = p[2:]
+		if !op.Valid() {
+			return nil, ErrBadOpcode
+		}
+		klen, vlen := prevK, prevV
+		if flags&FlagSameSizes == 0 {
+			if len(p) < 3 {
+				return nil, ErrTruncated
+			}
+			klen = int(p[0])
+			vlen = int(binary.LittleEndian.Uint16(p[1:]))
+			p = p[3:]
+			prevK, prevV = klen, vlen
+		} else if i == 0 {
+			return nil, ErrFirstFlags
+		}
+		if len(p) < klen {
+			return nil, ErrTruncated
+		}
+		r := Request{Op: op, Key: p[:klen:klen]}
+		p = p[klen:]
+		if op.HasValue() {
+			if flags&FlagSameValue != 0 {
+				if i == 0 || prevValue == nil || len(prevValue) != vlen {
+					return nil, ErrFirstFlags
+				}
+				r.Value = prevValue
+			} else {
+				if len(p) < vlen {
+					return nil, ErrTruncated
+				}
+				r.Value = p[:vlen:vlen]
+				p = p[vlen:]
+				prevValue = r.Value
+			}
+		} else {
+			prevValue = nil
+		}
+		if op.HasFunc() {
+			if len(p) < 3 {
+				return nil, ErrTruncated
+			}
+			r.FuncID, r.ElemWidth = p[0], p[1]
+			plen := int(p[2])
+			p = p[3:]
+			if len(p) < plen {
+				return nil, ErrTruncated
+			}
+			r.Param = p[:plen:plen]
+			p = p[plen:]
+		}
+		reqs = append(reqs, r)
+	}
+	return reqs, nil
+}
+
+// AppendResponses encodes resps appended to dst.
+func AppendResponses(dst []byte, resps []Response) ([]byte, error) {
+	if len(resps) > 0xFFFF {
+		return nil, ErrTooManyOps
+	}
+	var hdr [HeaderBytes]byte
+	binary.LittleEndian.PutUint16(hdr[0:], Magic)
+	hdr[2] = Version
+	binary.LittleEndian.PutUint16(hdr[3:], uint16(len(resps)))
+	dst = append(dst, hdr[:]...)
+	for _, r := range resps {
+		if len(r.Value) > 0xFFFF {
+			return nil, ErrValTooLong
+		}
+		var v [3]byte
+		v[0] = r.Status
+		binary.LittleEndian.PutUint16(v[1:], uint16(len(r.Value)))
+		dst = append(dst, v[:]...)
+		dst = append(dst, r.Value...)
+	}
+	return dst, nil
+}
+
+// DecodeResponses unpacks a response packet.
+func DecodeResponses(pkt []byte) ([]Response, error) {
+	if len(pkt) < HeaderBytes {
+		return nil, ErrTruncated
+	}
+	if binary.LittleEndian.Uint16(pkt[0:]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if pkt[2] != Version {
+		return nil, ErrBadVersion
+	}
+	count := int(binary.LittleEndian.Uint16(pkt[3:]))
+	p := pkt[HeaderBytes:]
+	resps := make([]Response, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < 3 {
+			return nil, ErrTruncated
+		}
+		status := p[0]
+		vlen := int(binary.LittleEndian.Uint16(p[1:]))
+		p = p[3:]
+		if len(p) < vlen {
+			return nil, ErrTruncated
+		}
+		resps = append(resps, Response{Status: status, Value: p[:vlen:vlen]})
+		p = p[vlen:]
+	}
+	return resps, nil
+}
+
+// EncodedSize returns the exact wire size AppendRequests would produce,
+// used by the network batching model (Figure 15).
+func EncodedSize(reqs []Request) (int, error) {
+	b, err := AppendRequests(nil, reqs)
+	if err != nil {
+		return 0, err
+	}
+	return len(b), nil
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

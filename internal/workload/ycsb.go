@@ -1,0 +1,144 @@
+package workload
+
+import "fmt"
+
+// The standard YCSB core workloads (Cooper et al., SoCC'10), which the
+// paper's system benchmark draws from (§5, "we use YCSB workload"). Each
+// preset fixes the op mix and key distribution; key/value sizes and seed
+// come from the caller.
+type Preset int
+
+// YCSB core workload presets.
+const (
+	// YCSBA: update heavy — 50% reads, 50% updates, Zipf.
+	YCSBA Preset = iota
+	// YCSBB: read mostly — 95% reads, 5% updates, Zipf.
+	YCSBB
+	// YCSBC: read only — 100% reads, Zipf.
+	YCSBC
+	// YCSBD: read latest — 95% reads skewed to recent inserts, 5% inserts.
+	YCSBD
+	// YCSBE: short ranges — 95% scans, 5% inserts. (Scans map to the
+	// hash table's Scan walk; KV-Direct's hash index has no ordered
+	// ranges, so a scan op visits ScanLen arbitrary-order entries, as a
+	// hash-based YCSB binding does.)
+	YCSBE
+	// YCSBF: read-modify-write — 50% reads, 50% RMW, Zipf.
+	YCSBF
+)
+
+func (p Preset) String() string {
+	switch p {
+	case YCSBA:
+		return "YCSB-A (update heavy)"
+	case YCSBB:
+		return "YCSB-B (read mostly)"
+	case YCSBC:
+		return "YCSB-C (read only)"
+	case YCSBD:
+		return "YCSB-D (read latest)"
+	case YCSBE:
+		return "YCSB-E (short ranges)"
+	case YCSBF:
+		return "YCSB-F (read-modify-write)"
+	default:
+		return fmt.Sprintf("Preset(%d)", int(p))
+	}
+}
+
+// Extended op kinds for the YCSB presets (Get and Put come from Kind).
+const (
+	Insert Kind = iota + 2 // insert a fresh key (D/E)
+	Scan                   // visit ScanLen entries (E)
+	RMW                    // read-modify-write one key (F)
+)
+
+// ScanLen is the entries visited per Scan op (YCSB default ~ zipf with
+// mean 50; fixed here for determinism).
+const ScanLen = 50
+
+// PresetGenerator produces a YCSB preset's op stream over a growing key
+// space.
+type PresetGenerator struct {
+	preset Preset
+	g      *Generator
+	keys   uint64 // current key-space size (grows on Insert)
+	maxKey uint64
+}
+
+// NewPreset builds a preset generator. initialKeys is the pre-loaded key
+// count (ids [0, initialKeys) are assumed inserted); KeySize/ValSize/Seed
+// come from cfg; cfg.Skew and cfg.GetRatio are overridden by the preset.
+func NewPreset(p Preset, initialKeys uint64, cfg Config) *PresetGenerator {
+	cfg.Keys = initialKeys
+	switch p {
+	case YCSBD, YCSBE:
+		cfg.Skew = 0 // D/E use their own recency/uniform pick below
+	default:
+		cfg.Skew = 0.99
+	}
+	return &PresetGenerator{preset: p, g: New(cfg), keys: initialKeys, maxKey: initialKeys}
+}
+
+// Generator exposes the underlying key/value renderers.
+func (pg *PresetGenerator) Generator() *Generator { return pg.g }
+
+// Keys returns the current key-space size (initial + inserts so far).
+func (pg *PresetGenerator) Keys() uint64 { return pg.maxKey }
+
+// Next draws one operation. Insert ops return the fresh key id to use.
+func (pg *PresetGenerator) Next() Op {
+	r := pg.g.rng.Float64()
+	switch pg.preset {
+	case YCSBA:
+		if r < 0.5 {
+			return Op{Kind: Get, KeyID: pg.zipfKey()}
+		}
+		return Op{Kind: Put, KeyID: pg.zipfKey()}
+	case YCSBB:
+		if r < 0.95 {
+			return Op{Kind: Get, KeyID: pg.zipfKey()}
+		}
+		return Op{Kind: Put, KeyID: pg.zipfKey()}
+	case YCSBC:
+		return Op{Kind: Get, KeyID: pg.zipfKey()}
+	case YCSBD:
+		if r < 0.95 {
+			return Op{Kind: Get, KeyID: pg.latestKey()}
+		}
+		return pg.insert()
+	case YCSBE:
+		if r < 0.95 {
+			return Op{Kind: Scan, KeyID: pg.uniformKey()}
+		}
+		return pg.insert()
+	default: // YCSBF
+		if r < 0.5 {
+			return Op{Kind: Get, KeyID: pg.zipfKey()}
+		}
+		return Op{Kind: RMW, KeyID: pg.zipfKey()}
+	}
+}
+
+func (pg *PresetGenerator) insert() Op {
+	id := pg.maxKey
+	pg.maxKey++
+	return Op{Kind: Insert, KeyID: id}
+}
+
+func (pg *PresetGenerator) zipfKey() uint64 { return pg.g.NextKey() }
+
+func (pg *PresetGenerator) uniformKey() uint64 {
+	return uint64(pg.g.rng.Int63n(int64(pg.maxKey)))
+}
+
+// latestKey skews toward recently inserted ids (YCSB-D's "read latest"):
+// an exponential-ish decay from the newest key backwards.
+func (pg *PresetGenerator) latestKey() uint64 {
+	// Geometric over recency with mean ~ maxKey/20, clamped into range.
+	back := uint64(pg.g.rng.ExpFloat64() * float64(pg.maxKey) / 20)
+	if back >= pg.maxKey {
+		back = pg.maxKey - 1
+	}
+	return pg.maxKey - 1 - back
+}

@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func presetMix(t *testing.T, p Preset, n int) map[Kind]int {
+	t.Helper()
+	pg := NewPreset(p, 10000, Config{KeySize: 8, ValSize: 16, Seed: 42})
+	mix := map[Kind]int{}
+	for i := 0; i < n; i++ {
+		op := pg.Next()
+		mix[op.Kind]++
+		// Key ids always valid for the current key space.
+		if op.Kind != Insert && op.KeyID >= pg.Keys() {
+			t.Fatalf("%v: key %d out of range %d", p, op.KeyID, pg.Keys())
+		}
+	}
+	return mix
+}
+
+func TestPresetMixes(t *testing.T) {
+	const n = 100000
+	cases := []struct {
+		p      Preset
+		kind   Kind
+		target float64
+	}{
+		{YCSBA, Put, 0.5},
+		{YCSBB, Put, 0.05},
+		{YCSBC, Get, 1.0},
+		{YCSBD, Insert, 0.05},
+		{YCSBE, Scan, 0.95},
+		{YCSBF, RMW, 0.5},
+	}
+	for _, c := range cases {
+		mix := presetMix(t, c.p, n)
+		frac := float64(mix[c.kind]) / n
+		if math.Abs(frac-c.target) > 0.01 {
+			t.Errorf("%v: %v fraction = %.3f, want %.2f", c.p, c.kind, frac, c.target)
+		}
+	}
+}
+
+func TestPresetCReadOnly(t *testing.T) {
+	mix := presetMix(t, YCSBC, 10000)
+	if mix[Get] != 10000 {
+		t.Errorf("YCSB-C produced non-GET ops: %v", mix)
+	}
+}
+
+func TestInsertsGrowKeySpace(t *testing.T) {
+	pg := NewPreset(YCSBD, 100, Config{Seed: 1})
+	start := pg.Keys()
+	inserts := 0
+	for i := 0; i < 10000; i++ {
+		if pg.Next().Kind == Insert {
+			inserts++
+		}
+	}
+	if pg.Keys() != start+uint64(inserts) {
+		t.Errorf("key space %d, want %d", pg.Keys(), start+uint64(inserts))
+	}
+	if inserts == 0 {
+		t.Error("no inserts in YCSB-D")
+	}
+}
+
+func TestInsertIdsAreFreshAndSequential(t *testing.T) {
+	pg := NewPreset(YCSBE, 50, Config{Seed: 2})
+	next := uint64(50)
+	for i := 0; i < 5000; i++ {
+		op := pg.Next()
+		if op.Kind == Insert {
+			if op.KeyID != next {
+				t.Fatalf("insert id %d, want %d", op.KeyID, next)
+			}
+			next++
+		}
+	}
+}
+
+func TestReadLatestSkewsRecent(t *testing.T) {
+	pg := NewPreset(YCSBD, 100000, Config{Seed: 3})
+	recent := 0
+	reads := 0
+	for i := 0; i < 50000; i++ {
+		op := pg.Next()
+		if op.Kind != Get {
+			continue
+		}
+		reads++
+		if op.KeyID >= pg.Keys()-pg.Keys()/10 {
+			recent++
+		}
+	}
+	frac := float64(recent) / float64(reads)
+	// Newest 10% of keys should draw far more than 10% of reads.
+	if frac < 0.5 {
+		t.Errorf("read-latest: newest decile drew %.2f of reads, want >= 0.5", frac)
+	}
+}
+
+func TestZipfPresetsSkewed(t *testing.T) {
+	pg := NewPreset(YCSBA, 100000, Config{Seed: 4})
+	counts := map[uint64]int{}
+	for i := 0; i < 100000; i++ {
+		counts[pg.Next().KeyID]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	// The hottest key of a Zipf(0.99) over 100k keys draws ~4-6%.
+	if max < 1000 {
+		t.Errorf("hottest key drew %d/100000, want heavy skew", max)
+	}
+}
+
+func TestPresetStrings(t *testing.T) {
+	for p := YCSBA; p <= YCSBF; p++ {
+		if p.String() == "" {
+			t.Errorf("preset %d has no name", p)
+		}
+	}
+	if Preset(99).String() != "Preset(99)" {
+		t.Error("unknown preset string")
+	}
+}
+
+func TestPresetDeterminism(t *testing.T) {
+	a := NewPreset(YCSBF, 1000, Config{Seed: 9})
+	b := NewPreset(YCSBF, 1000, Config{Seed: 9})
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("preset generator not deterministic")
+		}
+	}
+}

@@ -1,0 +1,180 @@
+// Package kvdirect is a faithful software reproduction of KV-Direct
+// (SOSP'17), the high-performance in-memory key-value store that offloads
+// KV processing to a programmable NIC with remote direct key-value access.
+//
+// The hardware — FPGA KV processor, PCIe Gen3 x8 DMA engines, on-NIC DRAM
+// cache, 40 Gbps network — is modeled in software with the paper's
+// measured parameters, while every algorithmic component is a real
+// implementation: the inline-capable chained hash index, the slab
+// allocator with NIC-side caching and lazy merging, the out-of-order
+// execution engine with data forwarding, the DRAM load dispatcher, and
+// the batched wire format with vector operations.
+//
+// # Quick start
+//
+//	store, err := kvdirect.New(kvdirect.Config{})
+//	if err != nil { ... }
+//	store.Put([]byte("answer"), []byte("42"))
+//	v, ok := store.Get([]byte("answer"))
+//
+// Atomic and vector operations (paper Table 1):
+//
+//	old, _ := store.Update([]byte("seq"), kvdirect.FnAdd, 8, 1) // fetch-add
+//	sum, _ := store.Reduce([]byte("weights"), kvdirect.FnAdd, 4, 0)
+//
+// For pipelined (batched) access that exercises the out-of-order engine,
+// use the Submit* methods and Flush.
+//
+// The companion packages and binaries regenerate the paper's evaluation:
+// see cmd/kvdbench and EXPERIMENTS.md.
+package kvdirect
+
+import (
+	"kvdirect/internal/core"
+	"kvdirect/internal/wire"
+)
+
+// Config parameterizes a Store; the zero value gives the paper's testbed
+// scaled down 256x (256 MiB host KVS, 16 MiB NIC DRAM cache). See
+// internal/core.Config for field semantics.
+type Config = core.Config
+
+// Store is one KV-Direct NIC instance. It is not safe for concurrent use;
+// wrap it with kvnet.Server (which serializes, as the single hardware
+// pipeline does) for shared access.
+type Store = core.Store
+
+// Stats aggregates counters across all simulated components.
+type Stats = core.Stats
+
+// Done is the completion callback type for pipelined operations.
+type Done = core.Done
+
+// UpdateFunc is a pre-registered scalar/vector update λ.
+type UpdateFunc = core.UpdateFunc
+
+// FilterFunc is a pre-registered filter λ.
+type FilterFunc = core.FilterFunc
+
+// New creates a store.
+func New(cfg Config) (*Store, error) { return core.NewStore(cfg) }
+
+// Built-in update and filter function ids.
+const (
+	FnAdd  = core.FnAdd
+	FnSub  = core.FnSub
+	FnMax  = core.FnMax
+	FnMin  = core.FnMin
+	FnXor  = core.FnXor
+	FnSwap = core.FnSwap
+
+	FilterNonZero = core.FilterNonZero
+	FilterOdd     = core.FilterOdd
+)
+
+// Errors mirrored from the core implementation.
+var (
+	ErrFull       = core.ErrFull
+	ErrNotFound   = core.ErrNotFound
+	ErrBadVector  = core.ErrBadVector
+	ErrBadWidth   = core.ErrBadWidth
+	ErrUnknownFn  = core.ErrUnknownFn
+	ErrBadScalar  = core.ErrBadScalar
+	ErrParamWidth = core.ErrParamWidth
+)
+
+// OpCode identifies a wire-level operation (Table 1).
+type OpCode uint8
+
+// Wire operation codes, usable with Op/Result batches over kvnet.
+const (
+	OpGet          = OpCode(wire.OpGet)
+	OpPut          = OpCode(wire.OpPut)
+	OpDelete       = OpCode(wire.OpDelete)
+	OpUpdateScalar = OpCode(wire.OpUpdateScalar)
+	OpUpdateS2V    = OpCode(wire.OpUpdateS2V)
+	OpUpdateV2V    = OpCode(wire.OpUpdateV2V)
+	OpReduce       = OpCode(wire.OpReduce)
+	OpFilter       = OpCode(wire.OpFilter)
+	// OpRegister installs a λ expression on the server before use
+	// (Param = expression source; ElemWidth 0 = update, 1 = filter).
+	OpRegister = OpCode(wire.OpRegister)
+	// OpStats fetches server counters as key=value text.
+	OpStats = OpCode(wire.OpStats)
+)
+
+// Result status codes.
+const (
+	StatusOK       = wire.StatusOK
+	StatusNotFound = wire.StatusNotFound
+	StatusError    = wire.StatusError
+)
+
+// Op is one operation in a client batch.
+type Op struct {
+	Code      OpCode
+	Key       []byte
+	Value     []byte // PUT payload or vector operand
+	FuncID    uint8  // registered λ for update/reduce/filter
+	ElemWidth uint8  // vector element width in bytes
+	Param     []byte // scalar parameter or initial accumulator
+}
+
+// Result is one operation outcome.
+type Result struct {
+	Status uint8
+	Value  []byte
+}
+
+// OK reports whether the operation succeeded.
+func (r Result) OK() bool { return r.Status == StatusOK }
+
+// NotFound reports whether the key was absent.
+func (r Result) NotFound() bool { return r.Status == StatusNotFound }
+
+// toWire converts public ops to the internal wire representation.
+func toWire(ops []Op) []wire.Request {
+	out := make([]wire.Request, len(ops))
+	for i, op := range ops {
+		out[i] = wire.Request{
+			Op:        wire.OpCode(op.Code),
+			Key:       op.Key,
+			Value:     op.Value,
+			FuncID:    op.FuncID,
+			ElemWidth: op.ElemWidth,
+			Param:     op.Param,
+		}
+	}
+	return out
+}
+
+// fromWire converts internal responses to public results.
+func fromWire(resps []wire.Response) []Result {
+	out := make([]Result, len(resps))
+	for i, r := range resps {
+		out[i] = Result{Status: r.Status, Value: r.Value}
+	}
+	return out
+}
+
+// Execute runs a batch of operations against a local store in order,
+// mirroring what a network round trip would do (dependent operations in
+// one batch see each other's effects).
+func Execute(s *Store, ops []Op) []Result {
+	return fromWire(s.ApplyBatch(toWire(ops)))
+}
+
+// EncodeBatch and DecodeResults expose the wire codec for transports
+// (used by kvnet; exported for custom integrations and fuzzing).
+func EncodeBatch(ops []Op) ([]byte, error) {
+	return wire.AppendRequests(nil, toWire(ops))
+}
+
+// DecodeResults parses a response packet produced by a KV-Direct server.
+func DecodeResults(pkt []byte) ([]Result, error) {
+	resps, err := wire.DecodeResponses(pkt)
+	if err != nil {
+		return nil, err
+	}
+	return fromWire(resps), nil
+}

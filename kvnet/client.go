@@ -1,0 +1,193 @@
+package kvnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"sync"
+
+	"kvdirect"
+)
+
+// Client is a KV-Direct network client. It is safe for concurrent use;
+// requests on one connection are serialized (batch multiple operations
+// into one Do call for throughput, as the paper's clients do).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a KV-Direct server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvnet: %w", err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+}
+
+// Close terminates the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one batch of operations and returns their results in order.
+func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
+	pkt, err := kvdirect.EncodeBatch(ops)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := writeFrame(c.w, pkt); err != nil {
+		return nil, err
+	}
+	if err := c.w.Flush(); err != nil {
+		return nil, err
+	}
+	resp, err := readFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	results, err := kvdirect.DecodeResults(resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(results) != len(ops) {
+		return nil, fmt.Errorf("kvnet: %d results for %d ops", len(results), len(ops))
+	}
+	return results, nil
+}
+
+// Get fetches key's value.
+func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
+	res, err := c.Do([]kvdirect.Op{{Code: kvdirect.OpGet, Key: key}})
+	if err != nil {
+		return nil, false, err
+	}
+	r := res[0]
+	switch {
+	case r.OK():
+		return r.Value, true, nil
+	case r.NotFound():
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("kvnet: get: %s", r.Value)
+	}
+}
+
+// Put stores value under key.
+func (c *Client) Put(key, value []byte) error {
+	res, err := c.Do([]kvdirect.Op{{Code: kvdirect.OpPut, Key: key, Value: value}})
+	if err != nil {
+		return err
+	}
+	if !res[0].OK() {
+		return fmt.Errorf("kvnet: put: %s", res[0].Value)
+	}
+	return nil
+}
+
+// Delete removes key, reporting whether it existed.
+func (c *Client) Delete(key []byte) (bool, error) {
+	res, err := c.Do([]kvdirect.Op{{Code: kvdirect.OpDelete, Key: key}})
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case res[0].OK():
+		return true, nil
+	case res[0].NotFound():
+		return false, nil
+	default:
+		return false, fmt.Errorf("kvnet: delete: %s", res[0].Value)
+	}
+}
+
+// FetchAdd atomically adds delta to key's 8-byte counter (initializing a
+// missing key from zero) and returns the previous value — the sequencer
+// primitive (paper §2.1).
+func (c *Client) FetchAdd(key []byte, delta uint64) (old uint64, err error) {
+	param := make([]byte, 8)
+	binary.LittleEndian.PutUint64(param, delta)
+	res, err := c.Do([]kvdirect.Op{{
+		Code: kvdirect.OpUpdateScalar, Key: key,
+		FuncID: kvdirect.FnAdd, ElemWidth: 8, Param: param,
+	}})
+	if err != nil {
+		return 0, err
+	}
+	r := res[0]
+	if !r.OK() {
+		return 0, fmt.Errorf("kvnet: fetch-add: %s", r.Value)
+	}
+	if len(r.Value) == 8 {
+		old = binary.LittleEndian.Uint64(r.Value)
+	}
+	return old, nil
+}
+
+// RegisterExpression compiles and installs an update λ on the server
+// under fnID, making it usable in subsequent update/reduce operations —
+// the remote analogue of loading a user function into the FPGA (paper
+// §3.2). Pass filter=true to register a filter predicate instead.
+func (c *Client) RegisterExpression(fnID uint8, expr string, filter bool) error {
+	width := uint8(0)
+	if filter {
+		width = 1
+	}
+	res, err := c.Do([]kvdirect.Op{{
+		Code: kvdirect.OpRegister, FuncID: fnID, ElemWidth: width,
+		Param: []byte(expr),
+	}})
+	if err != nil {
+		return err
+	}
+	if !res[0].OK() {
+		return fmt.Errorf("kvnet: register: %s", res[0].Value)
+	}
+	return nil
+}
+
+// Reduce folds key's vector on the server and returns the accumulator.
+func (c *Client) Reduce(key []byte, fnID, elemWidth uint8, init uint64) (uint64, error) {
+	param := make([]byte, elemWidth)
+	switch elemWidth {
+	case 1:
+		param[0] = byte(init)
+	case 2:
+		binary.LittleEndian.PutUint16(param, uint16(init))
+	case 4:
+		binary.LittleEndian.PutUint32(param, uint32(init))
+	case 8:
+		binary.LittleEndian.PutUint64(param, init)
+	default:
+		return 0, kvdirect.ErrBadWidth
+	}
+	res, err := c.Do([]kvdirect.Op{{
+		Code: kvdirect.OpReduce, Key: key,
+		FuncID: fnID, ElemWidth: elemWidth, Param: param,
+	}})
+	if err != nil {
+		return 0, err
+	}
+	r := res[0]
+	if !r.OK() {
+		return 0, fmt.Errorf("kvnet: reduce: %s", r.Value)
+	}
+	return binary.LittleEndian.Uint64(r.Value), nil
+}
+
+// Stats fetches the server's counters as key=value lines — the NIC's
+// status registers, over the wire.
+func (c *Client) Stats() (string, error) {
+	res, err := c.Do([]kvdirect.Op{{Code: kvdirect.OpStats}})
+	if err != nil {
+		return "", err
+	}
+	if !res[0].OK() {
+		return "", fmt.Errorf("kvnet: stats: %s", res[0].Value)
+	}
+	return string(res[0].Value), nil
+}

@@ -1,0 +1,169 @@
+// Package kvnet carries KV-Direct operations over real TCP sockets using
+// the batched wire format, standing in for the paper's RDMA-framed
+// 40 Gbps path: clients batch operations per packet (amortizing framing
+// overhead, Figure 15) and the server plays the NIC, decoding packets and
+// feeding the KV processor.
+//
+// The server serializes batches into the store just as the single
+// hardware pipeline would; consistency across dependent operations in a
+// batch is preserved.
+package kvnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"kvdirect"
+	"kvdirect/internal/wire"
+)
+
+// MaxFrame bounds a single length-prefixed frame (requests or responses).
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge is returned when a peer sends an oversized frame.
+var ErrFrameTooLarge = errors.New("kvnet: frame exceeds 16 MiB")
+
+// Server exposes one Store over TCP.
+type Server struct {
+	store *kvdirect.Store
+	ln    net.Listener
+
+	mu sync.Mutex // serializes store access (the single KV pipeline)
+	wg sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0") and begins accepting
+// connections in the background.
+func Serve(store *kvdirect.Store, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("kvnet: %w", err)
+	}
+	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) track(c net.Conn) {
+	s.connMu.Lock()
+	s.conns[c] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(c net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, c)
+	s.connMu.Unlock()
+}
+
+// Addr returns the server's listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops accepting, closes active connections and waits for their
+// handlers to finish.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		s.closeErr = s.ln.Close()
+		s.connMu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.connMu.Unlock()
+		s.wg.Wait()
+	})
+	return s.closeErr
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		s.track(conn)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			defer conn.Close()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	w := bufio.NewWriter(conn)
+	for {
+		pkt, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		reqs, err := wire.DecodeRequests(pkt)
+		if err != nil {
+			// Malformed packet: report one error response and drop the
+			// connection (a hardware decoder would drop the packet).
+			resp, _ := wire.AppendResponses(nil, []wire.Response{
+				{Status: wire.StatusError, Value: []byte(err.Error())},
+			})
+			writeFrame(w, resp)
+			w.Flush()
+			return
+		}
+		s.mu.Lock()
+		resps := s.store.ApplyBatch(reqs)
+		s.mu.Unlock()
+		out, err := wire.AppendResponses(nil, resps)
+		if err != nil {
+			return
+		}
+		if err := writeFrame(w, out); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func writeFrame(w io.Writer, pkt []byte) error {
+	if len(pkt) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(pkt)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(pkt)
+	return err
+}

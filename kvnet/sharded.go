@@ -1,0 +1,114 @@
+package kvnet
+
+import (
+	"fmt"
+
+	"kvdirect"
+)
+
+// ShardedClient talks to a multi-NIC KV-Direct deployment (paper §5.2):
+// one server endpoint per programmable NIC, each owning a disjoint slice
+// of the key space. Keys route by the same hash kvdirect.Cluster uses,
+// so a Cluster fronted by per-shard Servers and a ShardedClient agree on
+// placement.
+//
+// Like Client, it is safe for concurrent use.
+type ShardedClient struct {
+	clients []*Client
+}
+
+// DialShards connects to every endpoint. On failure, already-opened
+// connections are closed.
+func DialShards(addrs []string) (*ShardedClient, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("kvnet: no shard addresses")
+	}
+	sc := &ShardedClient{clients: make([]*Client, len(addrs))}
+	for i, addr := range addrs {
+		c, err := Dial(addr)
+		if err != nil {
+			sc.Close()
+			return nil, fmt.Errorf("kvnet: shard %d (%s): %w", i, addr, err)
+		}
+		sc.clients[i] = c
+	}
+	return sc, nil
+}
+
+// Close closes every shard connection, returning the first error.
+func (sc *ShardedClient) Close() error {
+	var first error
+	for _, c := range sc.clients {
+		if c == nil {
+			continue
+		}
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// NumShards returns the number of endpoints.
+func (sc *ShardedClient) NumShards() int { return len(sc.clients) }
+
+// shardFor mirrors kvdirect.Cluster's routing hash.
+func (sc *ShardedClient) shardFor(key []byte) *Client {
+	h := uint64(14695981039346656037)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	h ^= h >> 33
+	h *= 0xC4CEB9FE1A85EC53
+	h ^= h >> 33
+	return sc.clients[h%uint64(len(sc.clients))]
+}
+
+// Get routes a GET to the owning shard.
+func (sc *ShardedClient) Get(key []byte) ([]byte, bool, error) {
+	return sc.shardFor(key).Get(key)
+}
+
+// Put routes a PUT to the owning shard.
+func (sc *ShardedClient) Put(key, value []byte) error {
+	return sc.shardFor(key).Put(key, value)
+}
+
+// Delete routes a DELETE to the owning shard.
+func (sc *ShardedClient) Delete(key []byte) (bool, error) {
+	return sc.shardFor(key).Delete(key)
+}
+
+// FetchAdd routes an atomic fetch-and-add to the owning shard.
+func (sc *ShardedClient) FetchAdd(key []byte, delta uint64) (uint64, error) {
+	return sc.shardFor(key).FetchAdd(key, delta)
+}
+
+// Do splits a batch by owning shard, issues the per-shard sub-batches
+// and reassembles results in the original order. Cross-key ordering
+// within the batch is preserved per shard only — the same guarantee a
+// real multi-NIC deployment gives, since independent NICs do not
+// synchronize.
+func (sc *ShardedClient) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
+	groups := make(map[*Client][]int)
+	for i, op := range ops {
+		c := sc.shardFor(op.Key)
+		groups[c] = append(groups[c], i)
+	}
+	out := make([]kvdirect.Result, len(ops))
+	for c, idxs := range groups {
+		sub := make([]kvdirect.Op, len(idxs))
+		for j, i := range idxs {
+			sub[j] = ops[i]
+		}
+		res, err := c.Do(sub)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range idxs {
+			out[i] = res[j]
+		}
+	}
+	return out, nil
+}

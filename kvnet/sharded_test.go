@@ -1,0 +1,226 @@
+package kvnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"kvdirect"
+)
+
+// startShardedDeployment launches n servers, each fronting one shard of a
+// Cluster, mirroring the paper's 10-NIC single-server deployment.
+func startShardedDeployment(t *testing.T, n int) (*kvdirect.Cluster, *ShardedClient) {
+	t.Helper()
+	cluster, err := kvdirect.NewCluster(n, kvdirect.Config{MemoryBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv, err := Serve(cluster.ShardAt(i), "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		addrs[i] = srv.Addr()
+	}
+	sc, err := DialShards(addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sc.Close() })
+	return cluster, sc
+}
+
+func TestShardedClientBasics(t *testing.T) {
+	cluster, sc := startShardedDeployment(t, 4)
+	const n = 500
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("shard-key-%04d", i))
+		if err := sc.Put(k, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("shard-key-%04d", i))
+		v, found, err := sc.Get(k)
+		if err != nil || !found || !bytes.Equal(v, k) {
+			t.Fatalf("key %d: %v %v", i, found, err)
+		}
+	}
+	if cluster.NumKeys() != n {
+		t.Errorf("cluster holds %d keys, want %d", cluster.NumKeys(), n)
+	}
+	// Placement agreement: the client routed each key to the shard the
+	// cluster owns it on (otherwise the Gets above would have missed).
+	counts := cluster.ShardKeyCounts()
+	nonEmpty := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != 4 {
+		t.Errorf("only %d/4 shards used: %v", nonEmpty, counts)
+	}
+}
+
+func TestShardedClientRoutingMatchesCluster(t *testing.T) {
+	cluster, sc := startShardedDeployment(t, 3)
+	for i := 0; i < 100; i++ {
+		k := []byte(fmt.Sprintf("route-%03d", i))
+		if err := sc.Put(k, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		// Direct check: the cluster's owning shard has the key.
+		if _, ok := cluster.Shard(k).Get(k); !ok {
+			t.Fatalf("key %q not on its cluster shard", k)
+		}
+	}
+}
+
+func TestShardedDo(t *testing.T) {
+	_, sc := startShardedDeployment(t, 4)
+	ops := make([]kvdirect.Op, 40)
+	for i := range ops {
+		k := []byte(fmt.Sprintf("do-%03d", i))
+		if i%2 == 0 {
+			ops[i] = kvdirect.Op{Code: kvdirect.OpPut, Key: k, Value: k}
+		} else {
+			// GET of the key written in the previous op: different key →
+			// may be a different shard, so use the same key instead.
+			ops[i] = kvdirect.Op{Code: kvdirect.OpPut, Key: k, Value: []byte("v2")}
+		}
+	}
+	res, err := sc.Do(ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(ops) {
+		t.Fatalf("results %d != ops %d", len(res), len(ops))
+	}
+	for i, r := range res {
+		if !r.OK() {
+			t.Errorf("op %d failed: %+v", i, r)
+		}
+	}
+}
+
+func TestShardedFetchAdd(t *testing.T) {
+	_, sc := startShardedDeployment(t, 3)
+	for i := uint64(0); i < 20; i++ {
+		old, err := sc.FetchAdd([]byte("seq"), 1)
+		if err != nil || old != i {
+			t.Fatalf("fetch-add %d: %d %v", i, old, err)
+		}
+	}
+	// The counter lives on exactly one shard.
+	v, found, err := sc.Get([]byte("seq"))
+	if err != nil || !found || binary.LittleEndian.Uint64(v) != 20 {
+		t.Fatalf("final counter: %v %v", found, err)
+	}
+}
+
+func TestDialShardsErrors(t *testing.T) {
+	if _, err := DialShards(nil); err == nil {
+		t.Error("empty shard list accepted")
+	}
+	if _, err := DialShards([]string{"127.0.0.1:1"}); err == nil {
+		t.Error("unreachable shard accepted")
+	}
+}
+
+func TestBatcherShipsOnFillAndFlush(t *testing.T) {
+	_, c := startServer(t)
+	b := c.NewBatcher(8)
+	got := 0
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("batch-%02d", i))
+		err := b.Submit(kvdirect.Op{Code: kvdirect.OpPut, Key: k, Value: k},
+			func(r kvdirect.Result) {
+				if r.OK() {
+					got++
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 16 shipped automatically (two full batches), 4 pending.
+	if got != 16 || b.Pending() != 4 {
+		t.Fatalf("after submits: done=%d pending=%d", got, b.Pending())
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 20 || b.Pending() != 0 {
+		t.Fatalf("after flush: done=%d pending=%d", got, b.Pending())
+	}
+	// All writes landed.
+	for i := 0; i < 20; i++ {
+		k := []byte(fmt.Sprintf("batch-%02d", i))
+		if _, found, _ := c.Get(k); !found {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+}
+
+func TestBatcherEmptyFlush(t *testing.T) {
+	_, c := startServer(t)
+	b := c.NewBatcher(4)
+	if err := b.Flush(); err != nil {
+		t.Fatalf("empty flush: %v", err)
+	}
+}
+
+func TestBatcherOrderPreserved(t *testing.T) {
+	_, c := startServer(t)
+	b := c.NewBatcher(64)
+	var order []string
+	for i := 0; i < 10; i++ {
+		v := fmt.Sprintf("v%d", i)
+		b.Submit(kvdirect.Op{Code: kvdirect.OpPut, Key: []byte("same"), Value: []byte(v)}, nil)
+		b.Submit(kvdirect.Op{Code: kvdirect.OpGet, Key: []byte("same")},
+			func(r kvdirect.Result) { order = append(order, string(r.Value)) })
+	}
+	if err := b.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != fmt.Sprintf("v%d", i) {
+			t.Fatalf("in-batch ordering broken: %v", order)
+		}
+	}
+}
+
+func TestRegisterExpressionOverNetwork(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.RegisterExpression(60, "min(v + p, 100)", false); err != nil {
+		t.Fatal(err)
+	}
+	// A capped counter: adds saturate at 100.
+	for i := 0; i < 30; i++ {
+		if _, err := c.Do([]kvdirect.Op{{
+			Code: kvdirect.OpUpdateScalar, Key: []byte("capped"),
+			FuncID: 60, ElemWidth: 8, Param: u64b(7),
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, _, _ := c.Get([]byte("capped"))
+	if got := binary.LittleEndian.Uint64(v); got != 100 {
+		t.Errorf("capped counter = %d, want 100", got)
+	}
+	// Bad expression propagates an error result.
+	if err := c.RegisterExpression(61, "((", false); err == nil {
+		t.Error("bad expression accepted over the network")
+	}
+}
+
+func u64b(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}

@@ -1,0 +1,152 @@
+package kvdirect
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"testing"
+)
+
+func TestTraceRecordReplayRoundTrip(t *testing.T) {
+	// Record a workload against one store, replay it against a fresh one,
+	// and require identical final state.
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+
+	src, err := New(Config{MemoryBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for batch := 0; batch < 20; batch++ {
+		ops := make([]Op, 0, 10)
+		for i := 0; i < 10; i++ {
+			k := []byte(fmt.Sprintf("t-%02d-%02d", batch, i))
+			switch i % 3 {
+			case 0:
+				ops = append(ops, Op{Code: OpPut, Key: k, Value: k})
+			case 1:
+				p := make([]byte, 8)
+				binary.LittleEndian.PutUint64(p, uint64(batch))
+				ops = append(ops, Op{Code: OpUpdateScalar, Key: []byte("ctr"),
+					FuncID: FnAdd, ElemWidth: 8, Param: p})
+			case 2:
+				ops = append(ops, Op{Code: OpGet, Key: k})
+			}
+		}
+		if err := tw.Record(ops); err != nil {
+			t.Fatal(err)
+		}
+		Execute(src, ops)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := New(Config{MemoryBytes: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches, ops, failed, err := Replay(bytes.NewReader(buf.Bytes()), dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batches != 20 || ops != 200 || failed != 0 {
+		t.Fatalf("replay: %d batches %d ops %d failed", batches, ops, failed)
+	}
+
+	// Final states agree key by key.
+	if src.NumKeys() != dst.NumKeys() {
+		t.Fatalf("key counts differ: %d vs %d", src.NumKeys(), dst.NumKeys())
+	}
+	src.Scan(func(k, v []byte) bool {
+		got, ok := dst.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("replayed store differs at %q", k)
+		}
+		return true
+	})
+}
+
+func TestTraceReplayAcrossConfigs(t *testing.T) {
+	// A trace captured once replays against a differently tuned store.
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	for i := 0; i < 50; i++ {
+		k := []byte(fmt.Sprintf("cfg-%03d", i))
+		tw.Record([]Op{{Code: OpPut, Key: k, Value: bytes.Repeat([]byte{1}, i*5)}})
+	}
+	tw.Flush()
+
+	for _, cfg := range []Config{
+		{MemoryBytes: 8 << 20, InlineThreshold: -1},
+		{MemoryBytes: 8 << 20, DisableCache: true},
+		{MemoryBytes: 8 << 20, DisableOoO: true},
+	} {
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ops, failed, err := Replay(bytes.NewReader(buf.Bytes()), s); err != nil || failed != 0 || ops != 50 {
+			t.Fatalf("cfg %+v: %v ops=%d failed=%d", cfg, err, ops, failed)
+		}
+		if s.NumKeys() != 50 {
+			t.Fatalf("cfg %+v: %d keys", cfg, s.NumKeys())
+		}
+	}
+}
+
+func TestTraceCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Record([]Op{{Code: OpPut, Key: []byte("k"), Value: []byte("v")}})
+	tw.Flush()
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"truncated header": good[:2],
+		"truncated body":   good[:len(good)-2],
+		"huge frame":       append([]byte{0xFF, 0xFF, 0xFF, 0xFF}, good[4:]...),
+		"garbage packet":   append([]byte{3, 0, 0, 0}, 9, 9, 9),
+	}
+	for name, data := range cases {
+		s, _ := New(Config{MemoryBytes: 4 << 20})
+		if _, _, _, err := Replay(bytes.NewReader(data), s); err == nil {
+			t.Errorf("%s: replay accepted corrupt trace", name)
+		}
+	}
+}
+
+func TestTraceEmptyAndCallbackError(t *testing.T) {
+	s, _ := New(Config{MemoryBytes: 4 << 20})
+	if b, o, f, err := Replay(bytes.NewReader(nil), s); err != nil || b+o+f != 0 {
+		t.Errorf("empty trace: %d %d %d %v", b, o, f, err)
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Record([]Op{{Code: OpGet, Key: []byte("k")}})
+	tw.Record([]Op{{Code: OpGet, Key: []byte("k")}})
+	tw.Flush()
+	stop := fmt.Errorf("stop")
+	batches, _, err := ReplayFunc(bytes.NewReader(buf.Bytes()), func([]Op) error { return stop })
+	if err != stop || batches != 1 {
+		t.Errorf("callback error handling: batches=%d err=%v", batches, err)
+	}
+}
+
+func TestTraceWriterStickyError(t *testing.T) {
+	tw := NewTraceWriter(failWriter{})
+	err1 := tw.Record([]Op{{Code: OpGet, Key: []byte("k")}})
+	// A buffered writer may absorb the first small write; Flush must
+	// surface the failure, and subsequent calls stay failed.
+	flushErr := tw.Flush()
+	if err1 == nil && flushErr == nil {
+		t.Fatal("write to failing writer reported no error")
+	}
+	if tw.Record([]Op{{Code: OpGet, Key: []byte("k")}}) == nil && tw.Flush() == nil {
+		t.Fatal("sticky error not preserved")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
