@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build vet test race chaos bench check clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test: build
+	$(GO) test ./...
+
+# The full suite under the race detector, chaos harness included.
+race: vet
+	$(GO) test -race ./...
+
+# Just the chaos/resilience suite (fault injection across every layer).
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaos|TestServerSurvives|TestClientRe|TestNonIdempotent|TestNoReconnect|TestWriteDeadline|TestServerPanic' ./kvnet/
+
+bench:
+	$(GO) test -bench=BenchmarkStorePutGet -benchmem -count=5 -run '^$$' ./internal/core/
+
+# What CI runs.
+check: vet
+	$(GO) test -race ./...

@@ -11,7 +11,23 @@ import (
 // Apply executes one decoded wire request against the store and builds
 // its response — the glue between the vector operation decoder and the KV
 // processor that the network server uses.
+//
+// No silent corruption: if executing the operation tripped an
+// uncorrectable memory fault (double-bit flip with no intact copy
+// anywhere), the result may have been built from damaged bytes, so a
+// would-be OK/NotFound is converted into an explicit error. Results that
+// already report an error pass through unchanged.
 func (s *Store) Apply(req wire.Request) wire.Response {
+	before := s.uncorrectable()
+	resp := s.applyOp(req)
+	if s.uncorrectable() > before && resp.Status != wire.StatusError {
+		return wire.Response{Status: wire.StatusError,
+			Value: []byte("uncorrectable memory fault during operation")}
+	}
+	return resp
+}
+
+func (s *Store) applyOp(req wire.Request) wire.Response {
 	switch req.Op {
 	case wire.OpGet:
 		v, ok := s.Get(req.Key)
@@ -88,15 +104,28 @@ func (s *Store) Apply(req wire.Request) wire.Response {
 
 	case wire.OpStats:
 		st := s.Stats()
+		h := s.Health()
+		state := "ok"
+		if !h.OK() {
+			state = "degraded"
+		}
 		text := fmt.Sprintf(
 			"keys=%d\npayload_bytes=%d\nchain_buckets=%d\nutilization=%.4f\n"+
 				"pcie_reads=%d\npcie_writes=%d\ncache_hit_rate=%.4f\n"+
 				"merge_ratio=%.4f\nwritebacks=%d\nwriteback_errors=%d\n"+
-				"slab_allocs=%d\nslab_frees=%d\nslab_sync_dmas=%d\n",
+				"slab_allocs=%d\nslab_frees=%d\nslab_sync_dmas=%d\n"+
+				"ecc_corrected=%d\necc_uncorrectable=%d\n"+
+				"cache_ecc_corrected=%d\ncache_ecc_healed=%d\ncache_ecc_lost=%d\n"+
+				"pcie_retries=%d\npcie_stalls=%d\n"+
+				"faults_injected=%d\ncorrupt_chains=%d\nhealth=%s\n",
 			st.Keys, st.PayloadBytes, st.ChainBuckets, s.Utilization(),
 			st.Mem.Reads, st.Mem.Writes, st.Cache.HitRate(),
 			st.Engine.MergeRatio(), st.Engine.Writebacks, st.Engine.WritebackErrors,
-			st.Slab.Allocs, st.Slab.Frees, st.Slab.SyncDMAs)
+			st.Slab.Allocs, st.Slab.Frees, st.Slab.SyncDMAs,
+			st.ECC.Corrected, st.ECC.Uncorrectable,
+			st.Cache.EccCorrected, st.Cache.EccHealed, st.Cache.EccLost,
+			st.Fault.Retries, st.Fault.Stalls,
+			st.FaultsInjected, st.CorruptChains, state)
 		return wire.Response{Status: wire.StatusOK, Value: []byte(text)}
 
 	case wire.OpRegister:

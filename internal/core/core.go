@@ -16,6 +16,8 @@ import (
 	"fmt"
 
 	"kvdirect/internal/dispatch"
+	"kvdirect/internal/ecc"
+	"kvdirect/internal/fault"
 	"kvdirect/internal/hashtable"
 	"kvdirect/internal/memory"
 	"kvdirect/internal/nicdram"
@@ -53,6 +55,14 @@ type Config struct {
 	RSSlots, Window int
 	// Seed perturbs hash functions.
 	Seed uint64
+	// ECCProtect wraps host memory in the line-level SECDED code
+	// (internal/ecc): reads verify and transparently correct single-bit
+	// faults. Implied by Faults.
+	ECCProtect bool
+	// Faults attaches a fault injector: bit flips in host memory and NIC
+	// DRAM (caught by ECC), plus DMA-engine stalls and dropped
+	// completions. Nil disables injection entirely.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -118,6 +128,9 @@ const (
 type Store struct {
 	cfg    Config
 	mem    *memory.Memory
+	prot   *ecc.ProtectedMemory // nil unless ECCProtect/Faults
+	fmem   *fault.Memory        // nil unless Faults
+	faults *fault.Injector      // nil unless Faults
 	cache  *nicdram.Cache
 	disp   *dispatch.Dispatcher
 	alloc  *slab.Allocator
@@ -132,13 +145,31 @@ type Store struct {
 func NewStore(cfg Config) (*Store, error) {
 	cfg = cfg.withDefaults()
 	mem := memory.New(cfg.MemoryBytes)
+	// Host-memory engine stack: raw DRAM, optionally wrapped by the SECDED
+	// layer, optionally wrapped by the DMA fault injector. Everything
+	// above (NIC DRAM fills, dispatcher, hash table, slabs) sees only the
+	// top of the stack.
+	var host memory.Engine = mem
+	var prot *ecc.ProtectedMemory
+	if cfg.ECCProtect || cfg.Faults != nil {
+		prot = ecc.NewProtectedMemory(mem)
+		host = prot
+	}
+	var fmem *fault.Memory
+	if cfg.Faults != nil {
+		fmem = fault.NewMemory(host, prot, cfg.Faults)
+		host = fmem
+	}
 	var cache *nicdram.Cache
 	ratio := 0.0
 	if !cfg.DisableCache {
-		cache = nicdram.New(mem, cfg.NICCacheBytes)
+		cache = nicdram.New(host, cfg.NICCacheBytes)
+		if cfg.Faults != nil {
+			cache.EnableECC(cfg.Faults)
+		}
 		ratio = cfg.LoadDispatchRatio
 	}
-	disp := dispatch.New(mem, cache, ratio)
+	disp := dispatch.New(host, cache, ratio)
 	idx, slabs := memory.Split(cfg.MemoryBytes, cfg.HashIndexRatio)
 	alloc := slab.New(slabs, slab.Options{})
 	table, err := hashtable.New(disp, alloc, hashtable.Config{
@@ -152,6 +183,9 @@ func NewStore(cfg Config) (*Store, error) {
 	s := &Store{
 		cfg:       cfg,
 		mem:       mem,
+		prot:      prot,
+		fmem:      fmem,
+		faults:    cfg.Faults,
 		cache:     cache,
 		disp:      disp,
 		alloc:     alloc,
@@ -531,27 +565,103 @@ type Stats struct {
 	Dispatch dispatch.Stats
 	Slab     slab.Stats
 	Engine   ooo.Stats
+	ECC      ecc.ProtectedStats // zero unless ECCProtect/Faults
+	Fault    fault.MemoryStats  // zero unless Faults
 
-	Keys         uint64
-	PayloadBytes uint64
-	ChainBuckets uint64
+	Keys           uint64
+	PayloadBytes   uint64
+	ChainBuckets   uint64
+	CorruptChains  uint64
+	FaultsInjected uint64
 }
 
 // Stats returns a snapshot across all components.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Mem:          s.mem.Stats(),
-		Dispatch:     s.disp.Stats(),
-		Slab:         s.alloc.Stats(),
-		Engine:       s.engine.Stats(),
-		Keys:         s.table.NumKeys(),
-		PayloadBytes: s.table.PayloadBytes(),
-		ChainBuckets: s.table.ChainBuckets(),
+		Mem:           s.mem.Stats(),
+		Dispatch:      s.disp.Stats(),
+		Slab:          s.alloc.Stats(),
+		Engine:        s.engine.Stats(),
+		Keys:          s.table.NumKeys(),
+		PayloadBytes:  s.table.PayloadBytes(),
+		ChainBuckets:  s.table.ChainBuckets(),
+		CorruptChains: s.table.CorruptChains(),
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()
 	}
+	if s.prot != nil {
+		st.ECC = s.prot.Stats()
+	}
+	if s.fmem != nil {
+		st.Fault = s.fmem.Stats()
+	}
+	if s.faults != nil {
+		st.FaultsInjected = s.faults.Total()
+	}
 	return st
+}
+
+// Health summarizes the store's fault state: what was injected, what the
+// recovery machinery absorbed, and whether any data was actually lost.
+type Health struct {
+	FaultsInjected uint64 // faults fired by the injector
+	Corrected      uint64 // single-bit faults repaired (host ECC + NIC DRAM ECC)
+	Healed         uint64 // uncorrectable clean cache lines refetched from host
+	Retries        uint64 // DMA reads re-issued after dropped completions
+	Stalls         uint64 // DMA requests delayed by injected stalls
+	Uncorrectable  uint64 // faults with no intact copy anywhere (data lost)
+	CorruptChains  uint64 // hash-chain walks cut short by the hop bound
+}
+
+// OK reports whether every fault so far was recovered without data loss.
+func (h Health) OK() bool { return h.Uncorrectable == 0 && h.CorruptChains == 0 }
+
+func (h Health) String() string {
+	state := "ok"
+	if !h.OK() {
+		state = "degraded"
+	}
+	return fmt.Sprintf("health=%s injected=%d corrected=%d healed=%d retries=%d stalls=%d uncorrectable=%d corrupt_chains=%d",
+		state, h.FaultsInjected, h.Corrected, h.Healed, h.Retries, h.Stalls,
+		h.Uncorrectable, h.CorruptChains)
+}
+
+// Health returns the current fault/recovery summary.
+func (s *Store) Health() Health {
+	st := s.Stats()
+	return Health{
+		FaultsInjected: st.FaultsInjected,
+		Corrected:      st.ECC.Corrected + st.Cache.EccCorrected,
+		Healed:         st.Cache.EccHealed,
+		Retries:        st.Fault.Retries,
+		Stalls:         st.Fault.Stalls,
+		Uncorrectable:  st.ECC.Uncorrectable + st.Cache.EccLost,
+		CorruptChains:  st.CorruptChains,
+	}
+}
+
+// uncorrectable returns the running count of detected-but-unrepairable
+// faults — the quantity Apply watches to refuse results built on corrupt
+// data.
+func (s *Store) uncorrectable() uint64 {
+	var n uint64
+	if s.prot != nil {
+		n += s.prot.Stats().Uncorrectable
+	}
+	if s.cache != nil {
+		n += s.cache.Stats().EccLost
+	}
+	return n
+}
+
+// Scrub walks the ECC-protected host memory repairing correctable faults
+// (the background patrol scrubber). Returns zero without ECC.
+func (s *Store) Scrub() (repaired, uncorrectable uint64) {
+	if s.prot == nil {
+		return 0, 0
+	}
+	return s.prot.Scrub()
 }
 
 // ResetCounters zeroes the activity counters (not the stored data), so an

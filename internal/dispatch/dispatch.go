@@ -77,15 +77,17 @@ func (s Stats) CachedFraction() float64 {
 // buckets and slab objects line-aligned, so a logical object lands wholly
 // on one side of the split.
 type Dispatcher struct {
-	host   *memory.Memory
+	host   memory.Engine
 	cache  *nicdram.Cache
 	policy Policy
 	stats  Stats
 }
 
 // New creates a dispatcher with the given load dispatch ratio. A nil cache
-// or ratio <= 0 degrades to pure PCIe (the Figure 14 baseline).
-func New(host *memory.Memory, cache *nicdram.Cache, ratio float64) *Dispatcher {
+// or ratio <= 0 degrades to pure PCIe (the Figure 14 baseline). host is an
+// Engine so ECC and fault-injection layers can sit between the dispatcher
+// and the raw simulated DRAM.
+func New(host memory.Engine, cache *nicdram.Cache, ratio float64) *Dispatcher {
 	if cache == nil {
 		ratio = 0
 	}

@@ -36,9 +36,18 @@ func NewProtectedMemory(mem *memory.Memory) *ProtectedMemory {
 		mem:  mem,
 		side: make([]byte, nLines*CheckBytes),
 	}
+	// Fast path for the common case of freshly allocated (zeroed) memory:
+	// every all-zero line shares one sideband, so wrapping a multi-hundred-
+	// megabyte KVS takes a scan instead of a full re-encode.
+	var zero [LineBytes]byte
+	zeroSide := EncodeLine(&zero, 0)
 	var line [LineBytes]byte
 	for i := uint64(0); i < nLines; i++ {
 		mem.Peek(i*LineBytes, line[:])
+		if line == zero {
+			copy(p.side[i*CheckBytes:], zeroSide.Check[:])
+			continue
+		}
 		l := EncodeLine(&line, 0)
 		copy(p.side[i*CheckBytes:], l.Check[:])
 	}

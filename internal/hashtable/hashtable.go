@@ -102,6 +102,11 @@ type Table struct {
 	numKeys      uint64
 	payloadBytes uint64 // sum of key+value sizes currently stored
 	chainBuckets uint64 // chained buckets currently allocated
+
+	// corruptChains counts chain walks cut short by the hop bound — a
+	// symptom of a corrupted chain pointer (e.g. an undetected memory
+	// fault) that would otherwise loop forever.
+	corruptChains uint64
 }
 
 // New creates a table. The index partition must hold at least one bucket.
@@ -128,6 +133,9 @@ func (t *Table) PayloadBytes() uint64 { return t.payloadBytes }
 
 // ChainBuckets returns the number of chained overflow buckets in use.
 func (t *Table) ChainBuckets() uint64 { return t.chainBuckets }
+
+// CorruptChains returns how many chain walks hit the hop bound.
+func (t *Table) CorruptChains() uint64 { return t.corruptChains }
 
 // NumBuckets returns the number of primary hash buckets.
 func (t *Table) NumBuckets() uint64 { return t.numBuckets }
@@ -309,13 +317,25 @@ func chainAddr(c uint32) (uint64, bool) {
 
 func chainField(addr uint64) uint32 { return uint32(addr/BucketBytes) + 1 }
 
-// walk loads the bucket chain for hash h, returning all buckets.
+// maxChainHops bounds a chain walk. No healthy chain approaches this (it
+// would need thousands of hash collisions on one bucket); a chain field
+// corrupted into a cycle would otherwise walk forever.
+const maxChainHops = 4096
+
+// walk loads the bucket chain for hash h, returning all buckets. A chain
+// longer than maxChainHops is treated as corrupt: the walk stops there
+// and the event is counted, so a damaged pointer degrades to a miss
+// instead of a hang.
 func (t *Table) walk(h uint64) []*bkt {
 	addr := t.cfg.Index.Base + t.bucketIndex(h)*BucketBytes
 	bs := []*bkt{t.loadBucket(addr)}
 	for {
 		c, ok := chainAddr(bs[len(bs)-1].chain())
 		if !ok {
+			return bs
+		}
+		if len(bs) >= maxChainHops {
+			t.corruptChains++
 			return bs
 		}
 		bs = append(bs, t.loadBucket(c))

@@ -18,6 +18,8 @@ package nicdram
 import (
 	"fmt"
 
+	"kvdirect/internal/ecc"
+	"kvdirect/internal/fault"
 	"kvdirect/internal/memory"
 )
 
@@ -40,6 +42,11 @@ type Stats struct {
 	CleanEvictions uint64 // lines dropped without write-back
 	DRAMLineReads  uint64 // 64 B lines read from NIC DRAM
 	DRAMLineWrites uint64 // 64 B lines written to NIC DRAM
+
+	// ECC events (only populated when EnableECC has armed the sideband).
+	EccCorrected uint64 // single-bit DRAM faults repaired on access
+	EccHealed    uint64 // uncorrectable clean lines dropped and refetched from host
+	EccLost      uint64 // uncorrectable dirty lines: cached writes lost (escalated)
 }
 
 // HitRate returns hits/(hits+misses), or 0 with no traffic.
@@ -55,18 +62,25 @@ func (s Stats) HitRate() float64 {
 // It is not safe for concurrent use; the KV processor pipeline serializes
 // memory-engine requests just as the hardware's single DRAM controller does.
 type Cache struct {
-	host  *memory.Memory
+	host  memory.Engine
 	lines int // capacity in 64 B lines
 
 	tags  []int64 // host line index occupying each slot, -1 = empty
 	dirty []bool
 	data  []byte // lines * 64 bytes
 
+	// ECC sideband, armed by EnableECC: CheckBytes per slot holding the
+	// 8x7 Hamming bits, widened parity and the cache metadata (address
+	// tag + dirty flag) in the freed spare bits — the paper's §3.3.4
+	// trick, actually exercised bit-for-bit under fault injection.
+	side   []byte
+	faults *fault.Injector
+
 	stats Stats
 }
 
 // New creates a cache of sizeBytes (rounded down to whole lines) over host.
-func New(host *memory.Memory, sizeBytes uint64) *Cache {
+func New(host memory.Engine, sizeBytes uint64) *Cache {
 	n := int(sizeBytes / LineBytes)
 	if n <= 0 {
 		panic(fmt.Sprintf("nicdram: cache too small: %d bytes", sizeBytes))
@@ -82,6 +96,96 @@ func New(host *memory.Memory, sizeBytes uint64) *Cache {
 		c.tags[i] = -1
 	}
 	return c
+}
+
+// EnableECC arms the per-line SECDED sideband and attaches inj as the
+// source of injected DRAM faults. Single-bit flips in resident lines are
+// corrected transparently; uncorrectable (double-bit) faults on clean
+// lines self-heal by dropping the line and refetching from host memory,
+// while faults on dirty lines are counted as lost so the store can
+// escalate instead of serving corrupt data. With ECC disabled the hooks
+// cost one nil check per request.
+func (c *Cache) EnableECC(inj *fault.Injector) {
+	c.faults = inj
+	c.side = make([]byte, c.lines*ecc.CheckBytes)
+	var zero [ecc.LineBytes]byte
+	sealed := ecc.EncodeLine(&zero, 0)
+	for slot := 0; slot < c.lines; slot++ {
+		copy(c.side[slot*ecc.CheckBytes:], sealed.Check[:])
+	}
+}
+
+// reseal recomputes slot's ECC sideband from its current data and
+// metadata (short address tag + dirty flag packed into the spare bits).
+func (c *Cache) reseal(slot int) {
+	if c.side == nil {
+		return
+	}
+	var d [ecc.LineBytes]byte
+	copy(d[:], c.lineData(slot))
+	var meta uint8
+	if t := c.tags[slot]; t >= 0 {
+		meta = ecc.PackCacheMeta(uint8(c.TagFor(uint64(t))), c.dirty[slot])
+	}
+	l := ecc.EncodeLine(&d, meta)
+	copy(c.side[slot*ecc.CheckBytes:], l.Check[:])
+}
+
+// eccInject flips bits in one resident line covered by [first,
+// first+count), per the injector's configured probabilities. Double
+// flips use bit pair (0,1) of one word, which the widened-parity layout
+// is guaranteed to detect (see internal/fault).
+func (c *Cache) eccInject(first uint64, count int) {
+	resident := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		if line := first + uint64(i); c.present(line) {
+			resident = append(resident, c.slotFor(line))
+		}
+	}
+	if len(resident) == 0 {
+		return
+	}
+	if c.faults.Should(fault.DRAMBitFlip) {
+		slot := resident[c.faults.Intn(len(resident))]
+		bit := c.faults.Intn(LineBytes * 8)
+		c.lineData(slot)[bit/8] ^= 1 << (bit % 8)
+	}
+	if c.faults.Should(fault.DRAMDoubleBitFlip) {
+		slot := resident[c.faults.Intn(len(resident))]
+		word := c.faults.Intn(8)
+		c.lineData(slot)[word*8] ^= 0b11
+	}
+}
+
+// eccVerify decodes every resident line covering [first, first+count):
+// correctable faults are repaired in place, uncorrectable faults on
+// clean lines invalidate the slot (the caller's miss path refetches the
+// intact copy from host memory), and uncorrectable faults on dirty
+// lines are counted as lost — the cached write no longer exists anywhere.
+func (c *Cache) eccVerify(first uint64, count int) {
+	for i := 0; i < count; i++ {
+		line := first + uint64(i)
+		if !c.present(line) {
+			continue
+		}
+		slot := c.slotFor(line)
+		var l ecc.Line
+		copy(l.Data[:], c.lineData(slot))
+		copy(l.Check[:], c.side[slot*ecc.CheckBytes:])
+		data, _, status, err := ecc.DecodeLine(&l)
+		switch {
+		case err != nil:
+			if c.dirty[slot] {
+				c.stats.EccLost++
+			} else {
+				c.tags[slot] = -1
+				c.stats.EccHealed++
+			}
+		case status == ecc.Corrected:
+			copy(c.lineData(slot), data[:])
+			c.stats.EccCorrected++
+		}
+	}
 }
 
 // SizeBytes returns the cache capacity in bytes.
@@ -133,6 +237,7 @@ func (c *Cache) install(line uint64, src []byte) {
 	c.tags[slot] = int64(line)
 	c.dirty[slot] = false
 	copy(c.lineData(slot), src)
+	c.reseal(slot)
 	c.stats.Fills++
 	c.stats.DRAMLineWrites++
 }
@@ -152,6 +257,10 @@ func (c *Cache) Read(addr uint64, buf []byte) {
 		return
 	}
 	first, count := span(addr, len(buf))
+	if c.side != nil {
+		c.eccInject(first, count)
+		c.eccVerify(first, count)
+	}
 	allHit := true
 	for i := 0; i < count; i++ {
 		if !c.present(first + uint64(i)) {
@@ -217,6 +326,12 @@ func (c *Cache) Write(addr uint64, data []byte) {
 		return
 	}
 	first, count := span(addr, len(data))
+	if c.side != nil {
+		// Verify before merging: a corrupt resident line must not leak
+		// into the write's read-modify-write (clean lines refetch from
+		// host below; dirty ones are already counted as lost).
+		c.eccVerify(first, count)
+	}
 	alignedBase := first * LineBytes
 	aligned := make([]byte, count*LineBytes)
 
@@ -275,6 +390,7 @@ func (c *Cache) Write(addr uint64, data []byte) {
 			c.install(line, aligned[uint64(i)*LineBytes:(uint64(i)+1)*LineBytes])
 		}
 		c.dirty[slot] = true
+		c.reseal(slot)
 	}
 }
 

@@ -1,0 +1,74 @@
+package pcie
+
+import (
+	"testing"
+
+	"kvdirect/internal/fault"
+	"kvdirect/internal/sim"
+)
+
+// TestSimStallsAddLatency: injected stalls must raise mean read latency
+// without losing any request.
+func TestSimStallsAddLatency(t *testing.T) {
+	const n = 2000
+	clean := DefaultConfig()
+	base := clean.SimulateRandomAccess(n, 16, 64, false, sim.NewRNG(1))
+
+	faulty := DefaultConfig()
+	faulty.Faults = fault.NewInjector(2).Set(fault.PCIeStall, 0.2)
+	faulty.StallPenaltyNs = 20e3
+	res := faulty.SimulateRandomAccess(n, 16, 64, false, sim.NewRNG(1))
+
+	if res.Requests != n {
+		t.Fatalf("completed %d of %d requests", res.Requests, n)
+	}
+	if res.Stalls == 0 {
+		t.Fatal("no stalls recorded")
+	}
+	if res.Latency.Mean() <= base.Latency.Mean() {
+		t.Fatalf("stalls did not raise latency: %.0f ns vs %.0f ns",
+			res.Latency.Mean(), base.Latency.Mean())
+	}
+	if res.OpsPerSec >= base.OpsPerSec {
+		t.Fatalf("stalls did not cut throughput: %.0f vs %.0f ops/s",
+			res.OpsPerSec, base.OpsPerSec)
+	}
+}
+
+// TestSimDropTagRecovers: every dropped completion must be re-issued —
+// all requests still complete, each timeout showing up as ~TimeoutNs of
+// extra latency for its request.
+func TestSimDropTagRecovers(t *testing.T) {
+	const n = 2000
+	cfg := DefaultConfig()
+	cfg.Faults = fault.NewInjector(3).Set(fault.PCIeDropTag, 0.05)
+	cfg.TimeoutNs = 50e3
+	res := cfg.SimulateRandomAccess(n, 16, 64, false, sim.NewRNG(1))
+
+	if res.Requests != n {
+		t.Fatalf("completed %d of %d requests — drops lost work", res.Requests, n)
+	}
+	if res.Timeouts == 0 {
+		t.Fatal("no timeouts recorded")
+	}
+	if res.Latency.Percentile(99.9) < cfg.TimeoutNs {
+		t.Fatalf("p99.9 latency %.0f ns below the timeout %0.f ns — re-issues unaccounted",
+			res.Latency.Percentile(99.9), cfg.TimeoutNs)
+	}
+}
+
+// TestSimNoFaultsIdentical: a nil injector must not perturb the
+// simulation at all (same RNG stream, same result).
+func TestSimNoFaultsIdentical(t *testing.T) {
+	a := DefaultConfig().SimulateRandomAccess(500, 8, 64, false, sim.NewRNG(7))
+	cfg := DefaultConfig()
+	cfg.Faults = fault.NewInjector(9) // all probabilities zero
+	b := cfg.SimulateRandomAccess(500, 8, 64, false, sim.NewRNG(7))
+	if a.OpsPerSec != b.OpsPerSec || a.ElapsedNs != b.ElapsedNs {
+		t.Fatalf("zero-probability injector changed the simulation: %v vs %v",
+			a.OpsPerSec, b.OpsPerSec)
+	}
+	if b.Stalls != 0 || b.Timeouts != 0 {
+		t.Fatalf("phantom faults: stalls=%d timeouts=%d", b.Stalls, b.Timeouts)
+	}
+}

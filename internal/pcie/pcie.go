@@ -15,6 +15,7 @@ package pcie
 import (
 	"math"
 
+	"kvdirect/internal/fault"
 	"kvdirect/internal/sim"
 	"kvdirect/internal/stats"
 )
@@ -30,6 +31,14 @@ type Config struct {
 	ReadTags          int     // DMA tags limiting read concurrency (64)
 	PostedCredits     int     // TLP posted header credits for writes (88)
 	NonPostedCredits  int     // TLP non-posted header credits for reads (84)
+
+	// Faults optionally injects link-level events into the event-driven
+	// simulation: PCIeStall delays a request's completion by
+	// StallPenaltyNs; PCIeDropTag loses a read completion, and the tag
+	// is re-issued after TimeoutNs. Nil disables injection.
+	Faults         *fault.Injector
+	StallPenaltyNs float64 // extra latency per injected stall (default 10 µs)
+	TimeoutNs      float64 // completion-timeout before re-issue (default 100 µs)
 }
 
 // DefaultConfig returns the paper's measured endpoint parameters.
@@ -111,6 +120,9 @@ type SimResult struct {
 	Requests  int
 	ElapsedNs float64
 	Saturated bool // true if the link (not tags/credits) was the bottleneck
+
+	Stalls   int // injected stalls absorbed as extra latency
+	Timeouts int // read completions lost and re-issued after timeout
 }
 
 // SimulateRandomAccess runs an event-driven simulation of nRequests random
@@ -148,9 +160,26 @@ func (c Config) SimulateRandomAccess(nRequests, concurrency, payloadBytes int, w
 	inflight := 0
 	linkBusyNs := 0.0
 
+	stallNs := c.StallPenaltyNs
+	if stallNs <= 0 {
+		stallNs = 10e3 // 10 µs: a flow-control backpressure episode
+	}
+	timeoutNs := c.TimeoutNs
+	if timeoutNs <= 0 {
+		timeoutNs = 100e3 // 100 µs completion timeout before tag re-issue
+	}
+	stalls, timeouts := 0, 0
+
 	var tryIssue func()
-	tryIssue = func() {
-		for issued < nRequests && inflight < limit {
+	issueOne := func() {
+		issueTime := clk.Now()
+		issued++
+		inflight++
+		// serialize puts the request's TLP on the link and schedules its
+		// completion; a dropped read completion re-enters here after the
+		// tag timeout, so one logical request can serialize repeatedly.
+		var serialize func()
+		serialize = func() {
 			start := math.Max(clk.Now(), linkFree)
 			linkFree = start + perReqLinkNs
 			linkBusyNs += perReqLinkNs
@@ -160,9 +189,17 @@ func (c Config) SimulateRandomAccess(nRequests, concurrency, payloadBytes int, w
 			} else {
 				done = linkFree + c.SampleReadLatencyNs(rng)
 			}
-			issueTime := clk.Now()
-			issued++
-			inflight++
+			if c.Faults.Should(fault.PCIeStall) {
+				done += stallNs
+				stalls++
+			}
+			if !write && c.Faults.Should(fault.PCIeDropTag) {
+				// Completion lost in flight: the tag stays occupied until
+				// the timeout fires, then the DMA engine re-issues.
+				timeouts++
+				q.Schedule(start+timeoutNs, serialize)
+				return
+			}
 			q.Schedule(done, func() {
 				completed++
 				inflight--
@@ -171,6 +208,12 @@ func (c Config) SimulateRandomAccess(nRequests, concurrency, payloadBytes int, w
 				}
 				tryIssue()
 			})
+		}
+		serialize()
+	}
+	tryIssue = func() {
+		for issued < nRequests && inflight < limit {
+			issueOne()
 		}
 	}
 
@@ -183,6 +226,8 @@ func (c Config) SimulateRandomAccess(nRequests, concurrency, payloadBytes int, w
 		Latency:   lat,
 		Requests:  completed,
 		ElapsedNs: elapsed,
+		Stalls:    stalls,
+		Timeouts:  timeouts,
 	}
 	if elapsed > 0 {
 		res.OpsPerSec = float64(completed) / (elapsed * 1e-9)

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counters is a registry of named monotonic event counters, safe for
+// concurrent use. It backs the fault-injection registry and the network
+// layer's health accounting: every injected and recovered fault in the
+// system ends up as a named counter here, so tests and operators can
+// assert "nothing happened silently".
+//
+// Counter handles returned by Counter are stable for the lifetime of the
+// registry, so hot paths can resolve a name once and increment an
+// atomic thereafter.
+type Counters struct {
+	mu    sync.RWMutex
+	order []string
+	vals  map[string]*atomic.Uint64
+}
+
+// NewCounters returns an empty registry.
+func NewCounters() *Counters {
+	return &Counters{vals: map[string]*atomic.Uint64{}}
+}
+
+// Counter returns the counter registered under name, creating it at zero
+// on first use.
+func (c *Counters) Counter(name string) *atomic.Uint64 {
+	c.mu.RLock()
+	v := c.vals[name]
+	c.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if v = c.vals[name]; v == nil {
+		v = new(atomic.Uint64)
+		c.vals[name] = v
+		c.order = append(c.order, name)
+	}
+	return v
+}
+
+// Add increments name by delta.
+func (c *Counters) Add(name string, delta uint64) { c.Counter(name).Add(delta) }
+
+// Get returns name's current value (zero if never registered).
+func (c *Counters) Get(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if v := c.vals[name]; v != nil {
+		return v.Load()
+	}
+	return 0
+}
+
+// Counter is one (name, value) snapshot entry.
+type CounterValue struct {
+	Name  string
+	Value uint64
+}
+
+// Snapshot returns all counters in registration order.
+func (c *Counters) Snapshot() []CounterValue {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]CounterValue, 0, len(c.order))
+	for _, name := range c.order {
+		out = append(out, CounterValue{Name: name, Value: c.vals[name].Load()})
+	}
+	return out
+}
+
+// Total returns the sum of all counters.
+func (c *Counters) Total() uint64 {
+	var n uint64
+	for _, cv := range c.Snapshot() {
+		n += cv.Value
+	}
+	return n
+}
+
+// String renders the counters as "name=value" lines in registration
+// order, matching the server's status-register text format.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for _, cv := range c.Snapshot() {
+		fmt.Fprintf(&b, "%s=%d\n", cv.Name, cv.Value)
+	}
+	return b.String()
+}

@@ -31,6 +31,7 @@ package kvdirect
 
 import (
 	"kvdirect/internal/core"
+	"kvdirect/internal/fault"
 	"kvdirect/internal/wire"
 )
 
@@ -82,6 +83,37 @@ var (
 	ErrBadScalar  = core.ErrBadScalar
 	ErrParamWidth = core.ErrParamWidth
 )
+
+// --- fault injection (see internal/fault and DESIGN.md) ---
+
+// FaultInjector is a deterministic, seedable source of injected faults,
+// attachable to a Store (Config.Faults) and a kvnet server
+// (ServerOptions.Faults). All hooks are inert while every probability is
+// zero.
+type FaultInjector = fault.Injector
+
+// FaultPoint names one injection point.
+type FaultPoint = fault.Point
+
+// NewFaultInjector creates an injector; the same seed and probabilities
+// reproduce the same fault schedule.
+func NewFaultInjector(seed int64) *FaultInjector { return fault.NewInjector(seed) }
+
+// Named fault-injection points.
+const (
+	FaultHostBitFlip       = fault.HostBitFlip       // single-bit flip in host memory (ECC corrects)
+	FaultHostDoubleBitFlip = fault.HostDoubleBitFlip // double-bit flip (ECC detects, store escalates)
+	FaultDRAMBitFlip       = fault.DRAMBitFlip       // single-bit flip in NIC DRAM (ECC corrects)
+	FaultDRAMDoubleBitFlip = fault.DRAMDoubleBitFlip // double-bit flip (clean lines self-heal)
+	FaultPCIeStall         = fault.PCIeStall         // DMA request stalled
+	FaultPCIeDropTag       = fault.PCIeDropTag       // DMA read completion lost, re-issued
+	FaultNetCorruptFrame   = fault.NetCorruptFrame   // response payload corrupted in flight
+	FaultNetTruncateFrame  = fault.NetTruncateFrame  // response cut mid-frame
+	FaultNetReset          = fault.NetReset          // connection reset before the response
+)
+
+// Health summarizes a store's fault/recovery state (Store.Health).
+type Health = core.Health
 
 // OpCode identifies a wire-level operation (Table 1).
 type OpCode uint8

@@ -1,0 +1,299 @@
+package kvnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"kvdirect"
+	"kvdirect/internal/fault"
+)
+
+// The chaos harness drives a small cluster of KV-Direct shards under a
+// randomized but fully deterministic fault schedule, and asserts the
+// linearizability contract for every operation that survives:
+//
+//   - an OK Get must return a byte-exact value some Put attempted (the
+//     value embeds a version and a keyed checksum — silent corruption is
+//     impossible to miss);
+//   - under recoverable faults (network errors, single-bit flips) the
+//     returned version must lie in [last acked, last attempted] and an
+//     acked key can never be NotFound;
+//   - under uncorrectable memory faults data may be *lost* (explicitly
+//     errored or missing) but never silently wrong;
+//   - no operation may hang past the client's deadlines;
+//   - every injected fault must be visible in the injector, client,
+//     server and store counters.
+
+// chaosValue builds version v's value for key: 8-byte version, 8-byte
+// FNV-64a over key||version, padding to 40 bytes. At 40 bytes plus a
+// short key, the heap entry occupies its own 64-byte slab class, so no
+// two workers' values ever share an ECC line.
+func chaosValue(key []byte, v uint64) []byte {
+	out := make([]byte, 40)
+	binary.LittleEndian.PutUint64(out, v)
+	binary.LittleEndian.PutUint64(out[8:], chaosSum(key, v))
+	for i := 16; i < len(out); i++ {
+		out[i] = byte(v + uint64(i))
+	}
+	return out
+}
+
+func chaosSum(key []byte, v uint64) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// parseChaosValue validates a Get result: checksum must match, padding
+// must be version-consistent. Returns the version.
+func parseChaosValue(key, val []byte) (uint64, error) {
+	if len(val) != 40 {
+		return 0, fmt.Errorf("length %d, want 40", len(val))
+	}
+	v := binary.LittleEndian.Uint64(val)
+	if got := binary.LittleEndian.Uint64(val[8:]); got != chaosSum(key, v) {
+		return 0, fmt.Errorf("checksum mismatch for version %d", v)
+	}
+	for i := 16; i < len(val); i++ {
+		if val[i] != byte(v+uint64(i)) {
+			return 0, fmt.Errorf("padding corrupt at byte %d", i)
+		}
+	}
+	return v, nil
+}
+
+type chaosShard struct {
+	store *kvdirect.Store
+	srv   *Server
+	inj   *fault.Injector
+}
+
+// startChaosCluster starts nShards servers, each with its own store and
+// injector (seeded deterministically from seed).
+func startChaosCluster(t *testing.T, nShards int, seed int64) []*chaosShard {
+	t.Helper()
+	shards := make([]*chaosShard, nShards)
+	for i := range shards {
+		inj := fault.NewInjector(seed + int64(i))
+		store, err := kvdirect.New(kvdirect.Config{MemoryBytes: 8 << 20, Faults: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv, err := ServeOptions(store, "127.0.0.1:0", ServerOptions{
+			ReadIdleTimeout: 30 * time.Second,
+			WriteTimeout:    2 * time.Second,
+			Faults:          inj,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		shards[i] = &chaosShard{store: store, srv: srv, inj: inj}
+	}
+	return shards
+}
+
+func chaosClient(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := DialOptions(addr, Options{
+		DialTimeout:    2 * time.Second,
+		ReadTimeout:    2 * time.Second,
+		WriteTimeout:   2 * time.Second,
+		MaxRetries:     8,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// chaosWorker drives one key on one shard. strict demands full
+// linearizability (nothing may be lost); otherwise only the
+// no-silent-corruption invariants are checked.
+func chaosWorker(t *testing.T, c *Client, key []byte, nOps int, strict bool) {
+	const opDeadline = 30 * time.Second // client deadlines fire long before this
+	var acked, attempted uint64
+	for i := 0; i < nOps; i++ {
+		start := time.Now()
+		if i%2 == 0 {
+			attempted++
+			err := c.Put(key, chaosValue(key, attempted))
+			if err == nil {
+				acked = attempted
+			}
+		} else {
+			val, found, err := c.Get(key)
+			switch {
+			case err != nil:
+				// Transport or escalated-fault error: explicit, acceptable.
+			case !found:
+				if strict && acked > 0 {
+					t.Errorf("%s: NotFound after ack of version %d", key, acked)
+					return
+				}
+			default:
+				v, perr := parseChaosValue(key, val)
+				if perr != nil {
+					t.Errorf("%s: SILENT CORRUPTION: %v", key, perr)
+					return
+				}
+				if v > attempted {
+					t.Errorf("%s: version %d from the future (attempted %d)", key, v, attempted)
+					return
+				}
+				if strict && v < acked {
+					t.Errorf("%s: version %d older than acked %d", key, v, acked)
+					return
+				}
+			}
+		}
+		if el := time.Since(start); el > opDeadline {
+			t.Errorf("%s: op %d took %v — deadlines not enforced", key, i, el)
+			return
+		}
+	}
+}
+
+// runChaos spreads workers across a 2-shard cluster, runs them under the
+// configured fault schedule, then lifts the faults and verifies the
+// cluster recovered.
+func runChaos(t *testing.T, seed int64, strict bool, nWorkers, nOps int,
+	configure func(*fault.Injector)) []*chaosShard {
+	shards := startChaosCluster(t, 2, seed)
+	for _, sh := range shards {
+		configure(sh.inj)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < nWorkers; w++ {
+		sh := shards[w%len(shards)]
+		key := []byte(fmt.Sprintf("chaos-w%02d", w))
+		c := chaosClient(t, sh.srv.Addr())
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chaosWorker(t, c, key, nOps, strict)
+		}()
+	}
+	wg.Wait()
+
+	// Quiesce: with all fault probabilities back at zero the cluster must
+	// serve flawlessly again, whatever just happened.
+	for _, sh := range shards {
+		sh.inj.DisableAll()
+	}
+	for w := 0; w < nWorkers; w++ {
+		sh := shards[w%len(shards)]
+		key := []byte(fmt.Sprintf("chaos-w%02d", w))
+		c := chaosClient(t, sh.srv.Addr())
+		val, found, err := c.Get(key)
+		if err != nil {
+			// Latent double-bit damage is re-detected on every read — an
+			// explicit, permanent error. Only strict runs forbid it.
+			if !strict && strings.Contains(err.Error(), "uncorrectable") {
+				continue
+			}
+			t.Fatalf("post-chaos Get %s: %v", key, err)
+		}
+		if !found {
+			if strict {
+				t.Fatalf("post-chaos: %s lost", key)
+			}
+			continue
+		}
+		if _, perr := parseChaosValue(key, val); perr != nil {
+			t.Fatalf("post-chaos %s: %v", key, perr)
+		}
+	}
+	return shards
+}
+
+// TestChaosNetworkFaults: resets, truncations and corrupt frames on the
+// response path. Nothing reaches the stores' memory, so full
+// linearizability must hold and every fault must be absorbed by the
+// client's CRC check, retry and reconnect machinery.
+func TestChaosNetworkFaults(t *testing.T) {
+	shards := runChaos(t, 61, true, 6, 120, func(in *fault.Injector) {
+		in.Set(fault.NetReset, 0.02).
+			Set(fault.NetTruncateFrame, 0.02).
+			Set(fault.NetCorruptFrame, 0.03)
+	})
+	var injected uint64
+	for _, sh := range shards {
+		injected += sh.inj.Total()
+		h := sh.store.Health()
+		if !h.OK() {
+			t.Errorf("store degraded by network-only faults: %s", h)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("fault schedule fired nothing — chaos test vacuous")
+	}
+}
+
+// TestChaosCorrectableMemoryFaults: a hailstorm of single-bit flips in
+// host memory and NIC DRAM. ECC corrects every one, so linearizability
+// holds strictly, and the corrections must show up in Health.
+func TestChaosCorrectableMemoryFaults(t *testing.T) {
+	shards := runChaos(t, 67, true, 6, 100, func(in *fault.Injector) {
+		in.Set(fault.HostBitFlip, 0.2).
+			Set(fault.DRAMBitFlip, 0.2).
+			Set(fault.PCIeDropTag, 0.05).
+			Set(fault.PCIeStall, 0.05)
+	})
+	var corrected, retries uint64
+	for _, sh := range shards {
+		h := sh.store.Health()
+		if !h.OK() {
+			t.Errorf("store degraded by correctable faults: %s", h)
+		}
+		corrected += h.Corrected
+		retries += h.Retries
+	}
+	if corrected == 0 {
+		t.Fatal("no ECC corrections recorded under certain bit flips")
+	}
+	if retries == 0 {
+		t.Fatal("no DMA retries recorded under dropped completions")
+	}
+}
+
+// TestChaosUncorrectableMemoryFaults: everything at once, including
+// double-bit flips that can destroy dirty cache lines for good. Committed
+// data may be lost — but only ever explicitly: any OK response must still
+// carry a checksum-valid attempted value, faults must be visible in the
+// stats text, and nothing may hang.
+func TestChaosUncorrectableMemoryFaults(t *testing.T) {
+	shards := runChaos(t, 71, false, 6, 100, func(in *fault.Injector) {
+		in.Set(fault.HostBitFlip, 0.05).
+			Set(fault.DRAMBitFlip, 0.05).
+			Set(fault.HostDoubleBitFlip, 0.01).
+			Set(fault.DRAMDoubleBitFlip, 0.01).
+			Set(fault.NetReset, 0.01).
+			Set(fault.NetCorruptFrame, 0.01)
+	})
+	// Faults are disabled now; the stats text must carry the full story.
+	c := chaosClient(t, shards[0].srv.Addr())
+	text, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"faults_injected=", "ecc_corrected=", "health="} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("stats text missing %q:\n%s", want, text)
+		}
+	}
+	if strings.Contains(text, "faults_injected=0\n") {
+		t.Fatalf("injector counters absent from stats:\n%s", text)
+	}
+}

@@ -3,59 +3,272 @@ package kvnet
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 
 	"kvdirect"
+	"kvdirect/internal/stats"
 )
+
+// Options tunes a Client's resilience behaviour. The zero value gives
+// sane defaults; a negative duration or count disables that mechanism.
+type Options struct {
+	// DialTimeout bounds connection establishment (default 10 s).
+	DialTimeout time.Duration
+	// ReadTimeout bounds the wait for each response frame (default 30 s,
+	// negative disables). A stuck server surfaces as a timeout error
+	// instead of a hang.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each request write (default 30 s, negative
+	// disables).
+	WriteTimeout time.Duration
+	// MaxRetries is how many times an idempotent batch is retried after a
+	// transport failure, with exponential backoff (default 3, negative
+	// disables). Batches containing non-idempotent operations (scalar or
+	// vector updates) are never retried: a lost response leaves the
+	// update's fate unknown, and replaying it could apply it twice.
+	MaxRetries int
+	// RetryBaseDelay is the first backoff step (default 2 ms); each retry
+	// doubles it up to RetryMaxDelay (default 250 ms), with jitter.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// NoReconnect keeps the client on its original connection: after a
+	// transport failure the client is broken and every call fails fast.
+	NoReconnect bool
+}
+
+func (o Options) withDefaults() Options {
+	def := func(d *time.Duration, v time.Duration) {
+		switch {
+		case *d == 0:
+			*d = v
+		case *d < 0:
+			*d = 0 // disabled
+		}
+	}
+	def(&o.DialTimeout, 10*time.Second)
+	def(&o.ReadTimeout, 30*time.Second)
+	def(&o.WriteTimeout, 30*time.Second)
+	def(&o.RetryBaseDelay, 2*time.Millisecond)
+	def(&o.RetryMaxDelay, 250*time.Millisecond)
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	return o
+}
+
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("kvnet: client closed")
+
+// ErrBroken is returned when the connection failed and NoReconnect
+// prevents recovery.
+var ErrBroken = errors.New("kvnet: connection broken")
 
 // Client is a KV-Direct network client. It is safe for concurrent use;
 // requests on one connection are serialized (batch multiple operations
 // into one Do call for throughput, as the paper's clients do).
+//
+// After a mid-frame transport error the connection's state is unknown
+// (the peer may interpret leftover bytes as a new frame), so the client
+// marks it broken and never reuses it: the next attempt reconnects, or
+// fails fast under NoReconnect.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
-	w    *bufio.Writer
+	opts Options
+	addr string
+
+	mu     sync.Mutex
+	conn   net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	broken bool
+	closed bool
+
+	counters *stats.Counters
+	rng      *rand.Rand
 }
 
-// Dial connects to a KV-Direct server.
+// Dial connects to a KV-Direct server with default options.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("kvnet: %w", err)
-	}
-	return &Client{conn: conn, r: bufio.NewReader(conn), w: bufio.NewWriter(conn)}, nil
+	return DialOptions(addr, Options{})
 }
 
-// Close terminates the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+// DialOptions connects to a KV-Direct server.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{
+		opts:     opts.withDefaults(),
+		addr:     addr,
+		counters: stats.NewCounters(),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.reconnectLocked(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Counters exposes the client's resilience counters: client.retries,
+// client.reconnects, client.broken, client.corrupt_frames.
+func (c *Client) Counters() *stats.Counters { return c.counters }
+
+// Close terminates the connection. Subsequent calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+func (c *Client) reconnectLocked() error {
+	if c.conn != nil || c.broken {
+		if c.conn != nil {
+			c.conn.Close()
+			c.conn = nil
+		}
+		c.counters.Add("client.reconnects", 1)
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, c.opts.DialTimeout)
+	if err != nil {
+		return fmt.Errorf("kvnet: %w", err)
+	}
+	c.conn = conn
+	c.r = bufio.NewReader(conn)
+	c.w = bufio.NewWriter(conn)
+	c.broken = false
+	return nil
+}
+
+// markBrokenLocked poisons the connection after a transport error.
+func (c *Client) markBrokenLocked() {
+	c.broken = true
+	c.counters.Add("client.broken", 1)
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// ensureConnLocked gets a usable connection, reconnecting if allowed.
+func (c *Client) ensureConnLocked() error {
+	if c.closed {
+		return ErrClosed
+	}
+	if c.conn != nil && !c.broken {
+		return nil
+	}
+	if c.opts.NoReconnect {
+		return ErrBroken
+	}
+	return c.reconnectLocked()
+}
+
+// backoffLocked sleeps before retry n (1-based): exponential from
+// RetryBaseDelay capped at RetryMaxDelay, with ±50% jitter so a fleet of
+// clients doesn't retry in lockstep.
+func (c *Client) backoffLocked(n int) {
+	d := c.opts.RetryBaseDelay << uint(n-1)
+	if d > c.opts.RetryMaxDelay || d <= 0 {
+		d = c.opts.RetryMaxDelay
+	}
+	if d <= 0 {
+		return
+	}
+	jitter := time.Duration(c.rng.Int63n(int64(d))) - d/2
+	time.Sleep(d + jitter)
+}
+
+// idempotent reports whether replaying the batch is safe. Get, Put,
+// Delete, Reduce, Filter, Stats and Register all converge when repeated
+// (Delete's existed-bit may differ on replay, which callers treating
+// delete-of-missing as success tolerate); scalar/vector updates do not —
+// a replayed fetch-add adds twice.
+func idempotent(ops []kvdirect.Op) bool {
+	for _, op := range ops {
+		switch op.Code {
+		case kvdirect.OpUpdateScalar, kvdirect.OpUpdateS2V, kvdirect.OpUpdateV2V:
+			return false
+		}
+	}
+	return true
+}
 
 // Do sends one batch of operations and returns their results in order.
+// Transport failures on idempotent batches are retried with backoff (see
+// Options); non-idempotent batches fail fast with the transport error.
 func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 	pkt, err := kvdirect.EncodeBatch(ops)
 	if err != nil {
 		return nil, err
 	}
+	retries := 0
+	if idempotent(ops) {
+		retries = c.opts.MaxRetries
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			c.counters.Add("client.retries", 1)
+			c.backoffLocked(attempt)
+		}
+		if err := c.ensureConnLocked(); err != nil {
+			if errors.Is(err, ErrClosed) || errors.Is(err, ErrBroken) {
+				return nil, err
+			}
+			lastErr = err // dial failure: maybe transient, keep retrying
+			continue
+		}
+		res, err := c.doOnceLocked(pkt, len(ops))
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+		c.markBrokenLocked()
+	}
+	return nil, lastErr
+}
+
+// doOnceLocked performs one request/response exchange on the current
+// connection.
+func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
+	if t := c.opts.WriteTimeout; t > 0 {
+		c.conn.SetWriteDeadline(time.Now().Add(t))
+	}
 	if err := writeFrame(c.w, pkt); err != nil {
 		return nil, err
 	}
 	if err := c.w.Flush(); err != nil {
 		return nil, err
 	}
+	if t := c.opts.ReadTimeout; t > 0 {
+		c.conn.SetReadDeadline(time.Now().Add(t))
+	}
 	resp, err := readFrame(c.r)
 	if err != nil {
+		if errors.Is(err, ErrFrameCorrupt) {
+			c.counters.Add("client.corrupt_frames", 1)
+		}
 		return nil, err
 	}
 	results, err := kvdirect.DecodeResults(resp)
 	if err != nil {
 		return nil, err
 	}
-	if len(results) != len(ops) {
-		return nil, fmt.Errorf("kvnet: %d results for %d ops", len(results), len(ops))
+	if len(results) != nops {
+		return nil, fmt.Errorf("kvnet: %d results for %d ops", len(results), nops)
 	}
 	return results, nil
 }

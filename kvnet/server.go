@@ -7,30 +7,63 @@
 // The server serializes batches into the store just as the single
 // hardware pipeline would; consistency across dependent operations in a
 // batch is preserved.
+//
+// Every frame carries a CRC32C, so wire corruption is detected rather
+// than decoded: a corrupt frame or batch draws an error response while
+// the connection survives, and a client whose connection does die marks
+// it broken and reconnects (idempotent batches retry transparently).
 package kvnet
 
 import (
 	"bufio"
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"kvdirect"
+	"kvdirect/internal/fault"
+	"kvdirect/internal/stats"
 	"kvdirect/internal/wire"
 )
 
-// MaxFrame bounds a single length-prefixed frame (requests or responses).
-const MaxFrame = 16 << 20
+// ServerOptions tunes the server's resilience behaviour. The zero value
+// gives sane defaults; negative durations disable that deadline.
+type ServerOptions struct {
+	// ReadIdleTimeout bounds the wait for the next request frame on a
+	// connection; on expiry the connection is dropped. 0 disables (idle
+	// connections live until Close).
+	ReadIdleTimeout time.Duration
+	// WriteTimeout bounds each response write, so one stalled client
+	// cannot pin a handler goroutine forever (default 1 min, negative
+	// disables).
+	WriteTimeout time.Duration
+	// Faults optionally injects faults into the response path: NetReset
+	// drops the connection before the reply, NetTruncateFrame cuts the
+	// reply mid-frame, NetCorruptFrame flips payload bytes after the CRC
+	// was computed.
+	Faults *fault.Injector
+}
 
-// ErrFrameTooLarge is returned when a peer sends an oversized frame.
-var ErrFrameTooLarge = errors.New("kvnet: frame exceeds 16 MiB")
+func (o ServerOptions) withDefaults() ServerOptions {
+	switch {
+	case o.WriteTimeout == 0:
+		o.WriteTimeout = time.Minute
+	case o.WriteTimeout < 0:
+		o.WriteTimeout = 0
+	}
+	if o.ReadIdleTimeout < 0 {
+		o.ReadIdleTimeout = 0
+	}
+	return o
+}
 
 // Server exposes one Store over TCP.
 type Server struct {
 	store *kvdirect.Store
+	opts  ServerOptions
 	ln    net.Listener
 
 	mu sync.Mutex // serializes store access (the single KV pipeline)
@@ -41,20 +74,39 @@ type Server struct {
 
 	closeOnce sync.Once
 	closeErr  error
+
+	counters *stats.Counters
 }
 
-// Serve starts a server on addr (e.g. "127.0.0.1:0") and begins accepting
-// connections in the background.
+// Serve starts a server on addr (e.g. "127.0.0.1:0") with default
+// options and begins accepting connections in the background.
 func Serve(store *kvdirect.Store, addr string) (*Server, error) {
+	return ServeOptions(store, addr, ServerOptions{})
+}
+
+// ServeOptions starts a server on addr.
+func ServeOptions(store *kvdirect.Store, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvnet: %w", err)
 	}
-	s := &Server{store: store, ln: ln, conns: map[net.Conn]struct{}{}}
+	s := &Server{
+		store:    store,
+		opts:     opts.withDefaults(),
+		ln:       ln,
+		conns:    map[net.Conn]struct{}{},
+		counters: stats.NewCounters(),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
 }
+
+// Counters exposes the server's resilience counters: server.panics,
+// server.corrupt_frames, server.bad_batches, server.write_timeouts,
+// server.resets_injected, server.truncations_injected,
+// server.corruptions_injected.
+func (s *Server) Counters() *stats.Counters { return s.counters }
 
 func (s *Server) track(c net.Conn) {
 	s.connMu.Lock()
@@ -105,65 +157,160 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	// Backstop: a panic anywhere in this handler must cost one
+	// connection, never the whole server.
+	defer func() {
+		if r := recover(); r != nil {
+			s.counters.Add("server.panics", 1)
+		}
+	}()
 	r := bufio.NewReader(conn)
 	w := bufio.NewWriter(conn)
 	for {
+		if t := s.opts.ReadIdleTimeout; t > 0 {
+			conn.SetReadDeadline(time.Now().Add(t))
+		}
 		pkt, err := readFrame(r)
 		if err != nil {
-			return
+			if errors.Is(err, ErrFrameCorrupt) {
+				// The CRC failed but the stream is still frame-aligned:
+				// reject the batch with an error response and keep serving.
+				s.counters.Add("server.corrupt_frames", 1)
+				if !s.reply(conn, w, errorFrame("corrupt request frame")) {
+					return
+				}
+				continue
+			}
+			return // short read / reset / idle timeout: connection is gone
 		}
 		reqs, err := wire.DecodeRequests(pkt)
 		if err != nil {
-			// Malformed packet: report one error response and drop the
-			// connection (a hardware decoder would drop the packet).
-			resp, _ := wire.AppendResponses(nil, []wire.Response{
-				{Status: wire.StatusError, Value: []byte(err.Error())},
-			})
-			writeFrame(w, resp)
-			w.Flush()
-			return
+			// Malformed batch inside an intact frame: graceful rejection,
+			// not connection death.
+			s.counters.Add("server.bad_batches", 1)
+			if !s.reply(conn, w, errorFrame(err.Error())) {
+				return
+			}
+			continue
 		}
-		s.mu.Lock()
-		resps := s.store.ApplyBatch(reqs)
-		s.mu.Unlock()
+		resps := s.apply(reqs)
 		out, err := wire.AppendResponses(nil, resps)
 		if err != nil {
 			return
 		}
-		if err := writeFrame(w, out); err != nil {
-			return
-		}
-		if err := w.Flush(); err != nil {
+		if !s.reply(conn, w, out) {
 			return
 		}
 	}
 }
 
-func readFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+// apply runs a batch against the store, isolating each operation's
+// panics: a fault tripping a panic (e.g. a corrupted pointer walking off
+// the address space, or a registered λ misbehaving) becomes that
+// operation's error response.
+func (s *Server) apply(reqs []wire.Request) []wire.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]wire.Response, len(reqs))
+	for i, req := range reqs {
+		out[i] = s.applyOne(req)
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > MaxFrame {
-		return nil, ErrFrameTooLarge
-	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return nil, err
-	}
-	return buf, nil
+	return out
 }
 
-func writeFrame(w io.Writer, pkt []byte) error {
-	if len(pkt) > MaxFrame {
-		return ErrFrameTooLarge
+func (s *Server) applyOne(req wire.Request) (resp wire.Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.counters.Add("server.panics", 1)
+			resp = wire.Response{Status: wire.StatusError,
+				Value: []byte(fmt.Sprintf("panic: %v", r))}
+		}
+	}()
+	return s.store.Apply(req)
+}
+
+// errorFrame encodes a single-error-response frame.
+func errorFrame(msg string) []byte {
+	out, _ := wire.AppendResponses(nil, []wire.Response{
+		{Status: wire.StatusError, Value: []byte(msg)},
+	})
+	return out
+}
+
+// reply writes one response frame under the write deadline, applying any
+// injected response-path faults. It returns false when the connection
+// must be dropped.
+func (s *Server) reply(conn net.Conn, w *bufio.Writer, out []byte) bool {
+	f := s.opts.Faults
+	if f.Should(fault.NetReset) {
+		// Connection torn down before the response gets out.
+		s.counters.Add("server.resets_injected", 1)
+		return false
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(pkt)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	if t := s.opts.WriteTimeout; t > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t))
+	}
+	if f.Should(fault.NetTruncateFrame) {
+		// Half a frame, then the wire goes dead: the client sees a short
+		// read and must recover.
+		s.counters.Add("server.truncations_injected", 1)
+		writeTruncatedFrame(w, out)
+		w.Flush()
+		return false
+	}
+	var err error
+	if f.Should(fault.NetCorruptFrame) {
+		// Payload damaged after the CRC was computed: the client's
+		// checksum must catch it (stream stays aligned on both sides).
+		s.counters.Add("server.corruptions_injected", 1)
+		err = writeCorruptFrame(w, out, f)
+	} else {
+		err = writeFrame(w, out)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		if errors.Is(err, os.ErrDeadlineExceeded) {
+			s.counters.Add("server.write_timeouts", 1)
+		}
+		return false
+	}
+	return true
+}
+
+// writeTruncatedFrame emits the header and roughly half the payload.
+func writeTruncatedFrame(w *bufio.Writer, out []byte) {
+	full := make([]byte, 0, frameHeaderBytes+len(out))
+	buf := &appendWriter{buf: full}
+	writeFrame(buf, out)
+	cut := frameHeaderBytes + len(out)/2
+	if cut > len(buf.buf) {
+		cut = len(buf.buf)
+	}
+	w.Write(buf.buf[:cut])
+}
+
+// writeCorruptFrame emits a frame whose CRC matches the pristine payload
+// but whose payload bytes were flipped in flight.
+func writeCorruptFrame(w *bufio.Writer, out []byte, f *fault.Injector) error {
+	buf := &appendWriter{buf: make([]byte, 0, frameHeaderBytes+len(out))}
+	if err := writeFrame(buf, out); err != nil {
 		return err
 	}
-	_, err := w.Write(pkt)
+	if len(out) > 0 {
+		buf.buf[frameHeaderBytes+f.Intn(len(out))] ^= 0xFF
+	} else {
+		// Zero-length payload: damage the CRC itself.
+		buf.buf[frameHeaderBytes-1] ^= 0xFF
+	}
+	_, err := w.Write(buf.buf)
 	return err
+}
+
+type appendWriter struct{ buf []byte }
+
+func (a *appendWriter) Write(p []byte) (int, error) {
+	a.buf = append(a.buf, p...)
+	return len(p), nil
 }
