@@ -1,12 +1,23 @@
 GO ?= go
 
-.PHONY: build vet test race chaos bench check clean
+.PHONY: build vet lint lint-fix test race chaos bench check clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific invariants: counted memory access, deterministic model
+# code, registry-valid fault points, atomic counter discipline, no
+# dropped status/error results. See DESIGN.md "Static analysis".
+lint:
+	$(GO) run ./cmd/kvdlint ./...
+
+# Apply the mechanical fixes kvdlint suggests (e.g. clock-derived rand
+# seeds rewritten to constants), then report what remains.
+lint-fix:
+	$(GO) run ./cmd/kvdlint -fix ./...
 
 test: build
 	$(GO) test ./...
@@ -23,5 +34,5 @@ bench:
 	$(GO) test -bench=BenchmarkStorePutGet -benchmem -count=5 -run '^$$' ./internal/core/
 
 # What CI runs.
-check: vet
+check: vet lint
 	$(GO) test -race ./...

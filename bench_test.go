@@ -308,7 +308,7 @@ func ablationAccesses(b *testing.B, cfg Config, gets bool) {
 		if gets {
 			s.Get(k)
 		} else {
-			s.Put(k, []byte("tinY"))
+			_ = s.Put(k, []byte("tinY")) // benchmark drive loop
 		}
 		ops++
 	}

@@ -1,0 +1,146 @@
+// Package analysis is a small static-analysis framework modeled on
+// golang.org/x/tools/go/analysis, built only on the standard library so
+// the repository stays dependency-free. It powers cmd/kvdlint, the
+// domain-specific lint suite that mechanically enforces the simulation's
+// core invariants:
+//
+//   - every simulated-memory access flows through the counted accessor
+//     layer (unaccountedaccess), keeping the paper's DMA arithmetic honest;
+//   - model packages never consult wall-clock time or the global rand
+//     source (walltime), keeping runs deterministic and reproducible;
+//   - fault-counter names resolve against the internal/fault registry
+//     (faultpoint), so a typo cannot silently disable chaos coverage;
+//   - no struct field mixes sync/atomic and plain access (atomiccounter);
+//   - error and Response results on Apply/DMA paths are never silently
+//     dropped (statuserr).
+//
+// Analyzers inspect one type-checked package at a time through a Pass,
+// report Diagnostics (optionally carrying SuggestedFixes applied by
+// `kvdlint -fix`), and can be suppressed at a specific site with a
+// `//lint:allow <name> -- <reason>` comment on the offending line or the
+// line directly above it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static-analysis pass.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //lint:allow directives. It must be a valid identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer enforces
+	// and why the invariant matters for paper fidelity.
+	Doc string
+
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass presents one type-checked package (including its in-package test
+// files when loaded through Load) to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report records one diagnostic. The runner installs this hook.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, positioned within the package's FileSet.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional; token.NoPos means unknown
+	Message string
+
+	// SuggestedFixes, if any, are mechanical rewrites that resolve the
+	// diagnostic. kvdlint -fix applies the first fix of each diagnostic.
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is one self-contained rewrite resolving a diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source range [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// Inspect walks every file of the pass in depth-first order, calling fn
+// for each node. If fn returns false the node's children are skipped.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// CalleeFunc resolves the called function or method of call, or nil if
+// the callee is not a statically known *types.Func (e.g. a call of a
+// function-typed variable, a conversion, or a built-in).
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			fn, _ := sel.Obj().(*types.Func)
+			return fn
+		}
+		// Qualified identifier: pkg.Func.
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// IsPkgFunc reports whether call statically calls one of the named
+// package-level functions of the package with the given import path.
+func IsPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	fn := CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// ReceiverNamed returns the named type of a method's receiver (looking
+// through a pointer), or nil if fn is not a method on a named type.
+func ReceiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

@@ -1,0 +1,128 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations, in the spirit
+// of golang.org/x/tools/go/analysis/analysistest but built on the
+// repository's own framework.
+//
+// A fixture is a directory of .go files forming one package. Each line
+// that should trigger a diagnostic carries a trailing comment of the
+// form
+//
+//	offending() // want "regexp"
+//
+// (multiple quoted regexps allowed, each matching one expected
+// diagnostic on that line). Lines without a want comment must produce
+// no diagnostics. Because fixtures run through the same directive
+// filtering as kvdlint, a fixture line with `//lint:allow <name>` both
+// exercises and documents the suppression path.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"kvdirect/internal/analysis"
+)
+
+// Package names one fixture: a directory and the import path the
+// type-checker should assign it (letting fixtures impersonate model
+// packages for path-scoped analyzers).
+type Package struct {
+	Dir  string
+	Path string
+}
+
+// Run checks the analyzer against each fixture package.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...Package) {
+	t.Helper()
+	for _, p := range pkgs {
+		p := p
+		t.Run(strings.ReplaceAll(p.Path, "/", "_"), func(t *testing.T) {
+			t.Helper()
+			runOne(t, a, p)
+		})
+	}
+}
+
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+var quotedRe = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	re  *regexp.Regexp
+	hit bool
+}
+
+func runOne(t *testing.T, a *analysis.Analyzer, p Package) {
+	t.Helper()
+	u, err := analysis.LoadFixture(p.Dir, p.Path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", p.Dir, err)
+	}
+
+	// Collect want expectations keyed by file:line.
+	wants := map[string][]*expectation{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, q := range quotedRe.FindAllStringSubmatch(m[1], -1) {
+					text, err := unquoteLite(q[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", key, q[0], err)
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, text, err)
+					}
+					wants[key] = append(wants[key], &expectation{re: re})
+				}
+			}
+		}
+	}
+
+	findings, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Unit{u})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, p.Path, err)
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, exp := range wants[key] {
+			if !exp.hit && exp.re.MatchString(f.Diagnostic.Message) {
+				exp.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", key, f.Diagnostic.Message)
+		}
+	}
+	for key, exps := range wants {
+		for _, exp := range exps {
+			if !exp.hit {
+				t.Errorf("%s: expected diagnostic matching %q, got none", key, exp.re)
+			}
+		}
+	}
+}
+
+// unquoteLite handles the \" and \\ escapes allowed inside want
+// patterns without disturbing regexp escapes like \d.
+func unquoteLite(s string) (string, error) {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String(), nil
+}

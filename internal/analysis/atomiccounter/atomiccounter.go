@@ -1,0 +1,120 @@
+// Package atomiccounter detects struct fields accessed both through
+// sync/atomic functions and through plain reads/writes in the same
+// package.
+//
+// The stats layer's contract is that every counter is either a typed
+// sync/atomic value (atomic.Uint64, whose API makes plain access
+// impossible) or a plain integer accessed exclusively through
+// atomic.AddUint64/LoadUint64. A field that is incremented atomically
+// on the hot path but read plainly in a snapshot function is a data
+// race the -race detector only catches if a test happens to hit the
+// interleaving; this analyzer catches the pattern statically. The fix
+// is to migrate the field to atomic.Uint64 (preferred in this
+// codebase) or to make every access atomic.
+package atomiccounter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kvdirect/internal/analysis"
+)
+
+// atomicFuncs maps sync/atomic function names that take a pointer to an
+// integer field as their first argument.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true,
+	"CompareAndSwapUint32": true, "CompareAndSwapUint64": true, "CompareAndSwapUintptr": true,
+}
+
+// Analyzer is the atomiccounter pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccounter",
+	Doc:  "flag struct fields mixing sync/atomic and plain access (counter race invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: find fields used via sync/atomic, remembering the exact
+	// selector nodes that appear inside atomic calls.
+	atomicFields := map[*types.Var]bool{}
+	inAtomicCall := map[*ast.SelectorExpr]bool{}
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !isAtomicFunc(pass.TypesInfo, call) {
+			return true
+		}
+		unary, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(unary.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if field := fieldOf(pass.TypesInfo, sel); field != nil {
+			atomicFields[field] = true
+			inAtomicCall[sel] = true
+		}
+		return true
+	})
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other selector touching those fields is mixed access.
+	pass.Inspect(func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || inAtomicCall[sel] {
+			return true
+		}
+		field := fieldOf(pass.TypesInfo, sel)
+		if field == nil || !atomicFields[field] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"field %s is accessed with sync/atomic elsewhere in this package; "+
+				"this plain access races with it (migrate the field to atomic.%s)",
+			field.Name(), suggestedAtomicType(field))
+		return true
+	})
+	return nil
+}
+
+func isAtomicFunc(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" &&
+		atomicFuncs[fn.Name()]
+}
+
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}
+
+// suggestedAtomicType names the typed atomic matching the field's type.
+func suggestedAtomicType(field *types.Var) string {
+	if b, ok := field.Type().Underlying().(*types.Basic); ok {
+		switch b.Kind() {
+		case types.Int32:
+			return "Int32"
+		case types.Int64:
+			return "Int64"
+		case types.Uint32:
+			return "Uint32"
+		case types.Uintptr:
+			return "Uintptr"
+		}
+	}
+	return "Uint64"
+}

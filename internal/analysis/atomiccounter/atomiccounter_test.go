@@ -1,0 +1,15 @@
+package atomiccounter_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/atomiccounter"
+)
+
+func TestAtomicCounter(t *testing.T) {
+	analysistest.Run(t, atomiccounter.Analyzer, analysistest.Package{
+		Dir:  "testdata/counters",
+		Path: "kvdirect/internal/analysis/atomiccounter/testdata/counters",
+	})
+}

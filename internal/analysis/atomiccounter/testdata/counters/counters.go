@@ -1,0 +1,36 @@
+// Fixture for mixed atomic/plain field access.
+package counters
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+	plain  uint64
+}
+
+func (s *stats) record() {
+	atomic.AddUint64(&s.hits, 1)
+	atomic.AddUint64(&s.misses, 1)
+}
+
+func (s *stats) snapshot() (uint64, uint64) {
+	h := atomic.LoadUint64(&s.hits) // atomic read of an atomic field: fine
+	m := s.misses                   // want "plain access races.*atomic.Uint64"
+	return h, m
+}
+
+func (s *stats) reset() {
+	s.plain = 0 // never touched atomically anywhere: fine
+}
+
+type gauge struct{ level int64 }
+
+func bump(g *gauge) {
+	atomic.AddInt64(&g.level, 1)
+	g.level++ // want "migrate the field to atomic.Int64"
+}
+
+func peek(g *gauge) int64 {
+	return g.level //lint:allow atomiccounter -- fixture: suppression path
+}

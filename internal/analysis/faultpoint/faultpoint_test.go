@@ -1,0 +1,30 @@
+package faultpoint_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/faultpoint"
+)
+
+func TestFaultpoint(t *testing.T) {
+	analysistest.Run(t, faultpoint.Analyzer, analysistest.Package{
+		Dir:  "testdata/faultuse",
+		Path: "kvdirect/internal/analysis/faultpoint/testdata/faultuse",
+	})
+}
+
+// TestKnownNamesNonEmpty guards the live link to the registry: if
+// internal/fault ever stops exporting its point set, the analyzer would
+// silently flag every name.
+func TestKnownNamesNonEmpty(t *testing.T) {
+	names := faultpoint.KnownNames()
+	if len(names) == 0 {
+		t.Fatal("fault registry reports no points")
+	}
+	for _, n := range names {
+		if len(n) <= len(faultpoint.Prefix) {
+			t.Errorf("degenerate registered name %q", n)
+		}
+	}
+}

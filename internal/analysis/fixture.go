@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadFixture parses every .go file in dir and type-checks the result
+// as a package with the given import path. It is the loader behind
+// analysistest: fixtures may impersonate real package paths (so
+// path-scoped analyzers fire) and may import real module or standard
+// library packages, which are resolved from build-cache export data.
+func LoadFixture(dir, importPath string) (*Unit, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	imports := map[string]bool{}
+	var fileNames []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		fileNames = append(fileNames, e.Name())
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+		names = append(names, name) // typeCheck joins relative names with dir
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err == nil {
+				imports[p] = true
+			}
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports, err := listExports(dir, paths...)
+	if err != nil {
+		return nil, err
+	}
+	imp := newCachedImporter(fset, exports)
+	u, err := typeCheck(fset, imp, importPath, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	return u, nil
+}

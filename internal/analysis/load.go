@@ -1,0 +1,233 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Unit is one type-checked lint unit: a package together with its
+// in-package test files (matching what `go vet` checks). External test
+// packages (package foo_test) form their own units.
+type Unit struct {
+	// ID is the go list identifier, e.g. "kvdirect/internal/fault
+	// [kvdirect/internal/fault.test]" for a test-augmented variant.
+	ID string
+	// PkgPath is the plain import path analyzers see via Pkg.Path().
+	PkgPath string
+	Dir     string
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	ForTest    string
+	GoFiles    []string
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load enumerates the packages matching patterns (relative to dir), then
+// parses and type-checks each in-module package — preferring the
+// test-augmented variant so _test.go files are linted too. Import
+// resolution uses compiler export data from the build cache, so Load
+// needs no network and no third-party loader.
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-test", "-deps", "-export", "-json=ImportPath,Dir,Export,ForTest,GoFiles,Module,Incomplete,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		pkgs = append(pkgs, p)
+	}
+
+	// Pick lint units: in-module packages only; where a test-augmented
+	// variant "p [p.test]" exists, it replaces the plain "p".
+	augmented := map[string]bool{} // plain paths having a test variant
+	for _, p := range pkgs {
+		if p.ForTest != "" && plainPath(p.ImportPath) == p.ForTest {
+			augmented[p.ForTest] = true
+		}
+	}
+	fset := token.NewFileSet()
+	imp := newCachedImporter(fset, exports)
+	var units []*Unit
+	for _, p := range pkgs {
+		if p.Module == nil || strings.HasSuffix(p.ImportPath, ".test") {
+			continue // out-of-module dep or synthesized test main
+		}
+		if p.ForTest == "" && augmented[p.ImportPath] {
+			continue // superseded by its test-augmented variant
+		}
+		if p.ForTest != "" {
+			plain := plainPath(p.ImportPath)
+			// Keep only a package's own test-augmented variant
+			// ("p [p.test]") and its external test package
+			// ("p_test [p.test]"). Variants recompiled for another
+			// package's test binary ("p [q.test]", from test-dependency
+			// cycles) duplicate the plain package.
+			if plain != p.ForTest && plain != p.ForTest+"_test" {
+				continue
+			}
+		}
+		u, err := typeCheck(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// plainPath strips a test-variant suffix: "p [p.test]" -> "p".
+func plainPath(id string) string {
+	if i := strings.IndexByte(id, ' '); i >= 0 {
+		return id[:i]
+	}
+	return id
+}
+
+// typeCheck parses files (paths relative to dir) and type-checks them as
+// the package with the given go list ID.
+func typeCheck(fset *token.FileSet, imp types.Importer, id, dir string, files []string) (*Unit, error) {
+	var parsed []*ast.File
+	for _, name := range files {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	pkgPath := plainPath(id)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(pkgPath, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", id, err)
+	}
+	return &Unit{
+		ID:        id,
+		PkgPath:   plainPath(id),
+		Dir:       dir,
+		Fset:      fset,
+		Files:     parsed,
+		Pkg:       pkg,
+		TypesInfo: info,
+	}, nil
+}
+
+// cachedImporter resolves imports from gc export-data files, caching the
+// resulting packages so units sharing dependencies type-check each one
+// once.
+type cachedImporter struct {
+	mu    sync.Mutex // serializes Import (the gc importer is not concurrency-safe)
+	under types.Importer
+
+	expMu   sync.Mutex // guards exports; the lookup callback runs inside Import
+	exports map[string]string
+}
+
+func newCachedImporter(fset *token.FileSet, exports map[string]string) *cachedImporter {
+	ci := &cachedImporter{exports: exports}
+	ci.under = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		ci.expMu.Lock()
+		file, ok := ci.exports[path]
+		ci.expMu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return ci
+}
+
+func (ci *cachedImporter) Import(path string) (*types.Package, error) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.under.Import(path)
+}
+
+// listExports runs `go list -deps -export` over the given import paths
+// and returns path -> export-data file for every resolvable package.
+func listExports(dir string, paths ...string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	args := append([]string{"list", "-deps", "-export", "-e", "-json=ImportPath,Export", "--"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,161 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic attributed to its analyzer, after directive
+// filtering, ready for printing or fixing.
+type Finding struct {
+	Analyzer   *Analyzer
+	Position   token.Position
+	Diagnostic Diagnostic
+	Fset       *token.FileSet
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Diagnostic.Message, f.Analyzer.Name)
+}
+
+// Run applies every analyzer to every unit, returning the surviving
+// findings sorted by position. Sites annotated with a matching
+// `//lint:allow <name>` directive (same line or the line above) are
+// dropped.
+func Run(analyzers []*Analyzer, units []*Unit) ([]Finding, error) {
+	var findings []Finding
+	for _, u := range units {
+		allowed := collectAllows(u)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      u.Fset,
+				Files:     u.Files,
+				Pkg:       u.Pkg,
+				TypesInfo: u.TypesInfo,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := u.Fset.Position(d.Pos)
+				if allowed.match(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a, Position: pos, Diagnostic: d, Fset: u.Fset})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, u.ID, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Position, findings[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return findings[i].Analyzer.Name < findings[j].Analyzer.Name
+	})
+	return findings, nil
+}
+
+// allowRe matches `//lint:allow name1,name2 -- optional reason`.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,]+)(\s|$|--)`)
+
+// allowSet records, per file and line, the analyzer names allowed there.
+type allowSet map[string]map[int][]string
+
+// collectAllows scans a unit's comments for //lint:allow directives.
+func collectAllows(u *Unit) allowSet {
+	set := allowSet{}
+	for _, f := range u.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int][]string{}
+					set[pos.Filename] = lines
+				}
+				names := strings.Split(m[1], ",")
+				lines[pos.Line] = append(lines[pos.Line], names...)
+			}
+		}
+	}
+	return set
+}
+
+// match reports whether analyzer name is allowed at pos: a directive on
+// the same line (trailing comment) or the line directly above.
+func (s allowSet) match(name string, pos token.Position) bool {
+	lines := s[pos.Filename]
+	if lines == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, n := range lines[line] {
+			if n == name || n == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ApplyFixes applies the first suggested fix of each finding to the
+// source files on disk, returning how many edits were written. Findings
+// without fixes are left alone. Overlapping edits in one file are
+// applied right-to-left so earlier offsets stay valid.
+func ApplyFixes(findings []Finding) (int, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		if len(f.Diagnostic.SuggestedFixes) == 0 {
+			continue
+		}
+		for _, te := range f.Diagnostic.SuggestedFixes[0].TextEdits {
+			start := f.Fset.Position(te.Pos)
+			end := f.Fset.Position(te.End)
+			if start.Filename == "" || start.Filename != end.Filename {
+				continue
+			}
+			perFile[start.Filename] = append(perFile[start.Filename],
+				edit{start: start.Offset, end: end.Offset, text: te.NewText})
+		}
+	}
+	applied := 0
+	for file, edits := range perFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return applied, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		prevStart := len(src) + 1
+		for _, e := range edits {
+			if e.end > prevStart || e.end < e.start || e.end > len(src) {
+				continue // overlapping or out-of-range edit: skip
+			}
+			src = append(src[:e.start], append(append([]byte{}, e.text...), src[e.end:]...)...)
+			prevStart = e.start
+			applied++
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return applied, err
+		}
+	}
+	return applied, nil
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestAllowDirectiveParsing(t *testing.T) {
+	cases := []struct {
+		comment string
+		names   []string
+	}{
+		{"//lint:allow walltime", []string{"walltime"}},
+		{"// lint:allow walltime -- seeding the demo RNG", []string{"walltime"}},
+		{"//lint:allow statuserr,walltime", []string{"statuserr", "walltime"}},
+		{"//lint:allow all", []string{"all"}},
+		{"// lint:allowance is not a directive", nil},
+		{"// a comment mentioning lint:allow mid-text", nil},
+		{"//lint:allow", nil}, // no names: malformed, ignored
+	}
+	for _, c := range cases {
+		m := allowRe.FindStringSubmatch(c.comment)
+		if c.names == nil {
+			if m != nil {
+				t.Errorf("%q: matched %q, want no match", c.comment, m[1])
+			}
+			continue
+		}
+		if m == nil {
+			t.Errorf("%q: no match, want names %v", c.comment, c.names)
+			continue
+		}
+		got := m[1]
+		want := ""
+		for i, n := range c.names {
+			if i > 0 {
+				want += ","
+			}
+			want += n
+		}
+		if got != want {
+			t.Errorf("%q: names %q, want %q", c.comment, got, want)
+		}
+	}
+}
+
+func TestAllowSetMatch(t *testing.T) {
+	s := allowSet{
+		"f.go": {
+			10: {"walltime"},
+			20: {"all"},
+		},
+	}
+	at := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
+	if !s.match("walltime", at(10)) {
+		t.Error("same-line directive did not suppress")
+	}
+	if !s.match("walltime", at(11)) {
+		t.Error("line-above directive did not suppress")
+	}
+	if s.match("walltime", at(12)) {
+		t.Error("directive leaked two lines down")
+	}
+	if s.match("statuserr", at(10)) {
+		t.Error("directive suppressed a different analyzer")
+	}
+	if !s.match("statuserr", at(20)) {
+		t.Error("'all' did not suppress")
+	}
+	if s.match("walltime", token.Position{Filename: "other.go", Line: 10}) {
+		t.Error("directive leaked across files")
+	}
+}
+
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fix.go")
+	src := []byte("seed := time.Now().UnixNano()\nother := rand.Intn(9)\n")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	file := fset.AddFile(path, -1, len(src))
+	file.SetLinesForContent(src)
+	edit := func(start, end int, text string) Finding {
+		return Finding{
+			Fset: fset,
+			Diagnostic: Diagnostic{
+				SuggestedFixes: []SuggestedFix{{TextEdits: []TextEdit{{
+					Pos: file.Pos(start), End: file.Pos(end), NewText: []byte(text),
+				}}}},
+			},
+		}
+	}
+	// Two edits in one file, given in left-to-right order; the applier
+	// must handle them right-to-left so offsets stay valid. The third
+	// finding has no fix and must be ignored.
+	findings := []Finding{
+		edit(8, 29, "1"),  // time.Now().UnixNano() -> 1
+		edit(39, 51, "7"), // rand.Intn(9) -> 7
+		{Fset: fset},
+	}
+	n, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("applied %d edits, want 2", n)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "seed := 1\nother := 7\n"
+	if string(got) != want {
+		t.Errorf("after fixes:\n%q\nwant:\n%q", got, want)
+	}
+}

@@ -1,0 +1,138 @@
+// Package statuserr flags silently dropped error and wire.Response
+// results.
+//
+// The Apply/DMA hot path reports failure in-band: core.Store.Apply
+// converts uncorrectable memory faults into wire.Response values with
+// StatusError, and the network/DMA layers return plain errors. A call
+// site that invokes one of these for its side effect and discards the
+// result throws away the only signal that the operation was served from
+// damaged state — the exact "silent corruption" the store's no-silent-
+// corruption contract exists to prevent. This analyzer flags statement
+// calls (including `go` statements) whose results include an error or a
+// wire.Response. Explicitly assigning to `_` remains a visible,
+// greppable acknowledgment and is not flagged; `defer` cleanup calls
+// follow the usual Go idiom and are skipped.
+package statuserr
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kvdirect/internal/analysis"
+)
+
+// ignoredPkgs are callee packages whose dropped errors are idiomatic
+// noise rather than lost status (fmt's print family foremost).
+var ignoredPkgs = map[string]bool{
+	"fmt": true,
+}
+
+// ignoredRecvs are receiver types whose methods' error returns are
+// documented to be always nil (writes to in-memory buffers, the
+// seeded rand stream).
+var ignoredRecvs = map[string]bool{
+	"strings.Builder": true,
+	"bytes.Buffer":    true,
+	"math/rand.Rand":  true,
+}
+
+// Analyzer is the statuserr pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "statuserr",
+	Doc:  "flag dropped error/StatusError results on Apply and DMA paths (no-silent-corruption invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.GoStmt:
+			call = n.Call
+		case *ast.DeferStmt:
+			return false // defer f.Close() etc.: idiomatic, skip subtree
+		}
+		if call == nil {
+			return true
+		}
+		if ignored(pass.TypesInfo, call) {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[call]
+		if !ok {
+			return true
+		}
+		if kind := droppedKind(tv.Type); kind != "" {
+			pass.Reportf(call.Pos(),
+				"%s result of %s is discarded; a failed operation would go unnoticed "+
+					"(handle it, or assign to _ to acknowledge)",
+				kind, calleeName(pass.TypesInfo, call))
+		}
+		return true
+	})
+	return nil
+}
+
+// droppedKind classifies the call's result tuple: "error" if it yields
+// an error, "wire.Response" if it yields a status-carrying Response,
+// "" otherwise.
+func droppedKind(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	results := []types.Type{t}
+	if tuple, ok := t.(*types.Tuple); ok {
+		results = results[:0]
+		for i := 0; i < tuple.Len(); i++ {
+			results = append(results, tuple.At(i).Type())
+		}
+	}
+	for _, r := range results {
+		if isErrorType(r) {
+			return "error"
+		}
+		if named, ok := r.(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Name() == "Response" && obj.Pkg() != nil &&
+				obj.Pkg().Path() == "kvdirect/internal/wire" {
+				return "wire.Response"
+			}
+		}
+	}
+	return ""
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return types.Implements(t, errorIface)
+}
+
+func ignored(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false // dynamic call: judge by result type alone
+	}
+	if pkg := fn.Pkg(); pkg != nil && ignoredPkgs[pkg.Path()] {
+		return true
+	}
+	if named := analysis.ReceiverNamed(fn); named != nil {
+		obj := named.Obj()
+		if obj.Pkg() != nil && ignoredRecvs[obj.Pkg().Path()+"."+obj.Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	if fn := analysis.CalleeFunc(info, call); fn != nil {
+		if named := analysis.ReceiverNamed(fn); named != nil {
+			return named.Obj().Name() + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	return "call"
+}

@@ -1,0 +1,15 @@
+package statuserr_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/statuserr"
+)
+
+func TestStatusErr(t *testing.T) {
+	analysistest.Run(t, statuserr.Analyzer, analysistest.Package{
+		Dir:  "testdata/hotpath",
+		Path: "kvdirect/internal/analysis/statuserr/testdata/hotpath",
+	})
+}

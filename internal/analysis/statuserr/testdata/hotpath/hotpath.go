@@ -1,0 +1,38 @@
+// Fixture for dropped error / wire.Response results.
+package hotpath
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"kvdirect/internal/wire"
+)
+
+func flush() error { return errors.New("boom") }
+
+func apply() wire.Response { return wire.Response{} }
+
+func pair() (int, error) { return 0, nil }
+
+func touch() {}
+
+func drops() {
+	flush()    // want "error result of flush is discarded"
+	apply()    // want "wire.Response result of apply is discarded"
+	pair()     // want "error result of pair is discarded"
+	go flush() // want "error result of flush is discarded"
+}
+
+func fine() {
+	touch()     // no results at all
+	_ = flush() // explicit, greppable acknowledgment
+	if err := flush(); err != nil {
+		_ = err
+	}
+	defer flush()    // defer cleanup idiom: skipped
+	fmt.Println("x") // fmt print family: ignored noise
+	var b strings.Builder
+	b.WriteString("x") // documented always-nil error: ignored
+	flush()            //lint:allow statuserr -- fixture: suppression path
+}

@@ -1,0 +1,17 @@
+// Fixture impersonating kvdirect/internal/nicdram: only lineData may
+// window into the cache's backing array.
+package nicdram
+
+const LineBytes = 64
+
+type Cache struct {
+	data []byte
+}
+
+func (c *Cache) lineData(slot int) []byte {
+	return c.data[slot*LineBytes : (slot+1)*LineBytes]
+}
+
+func (c *Cache) readByte(off int) byte {
+	return c.data[off] // want "raw access to Cache.data"
+}

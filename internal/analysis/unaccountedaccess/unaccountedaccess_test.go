@@ -1,0 +1,15 @@
+package unaccountedaccess_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/unaccountedaccess"
+)
+
+func TestUnaccountedAccess(t *testing.T) {
+	analysistest.Run(t, unaccountedaccess.Analyzer,
+		analysistest.Package{Dir: "testdata/memory", Path: "kvdirect/internal/memory"},
+		analysistest.Package{Dir: "testdata/nicdram", Path: "kvdirect/internal/nicdram"},
+	)
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+)
+
+// vetConfig mirrors the JSON configuration file cmd/go hands a
+// -vettool for each package unit (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredGoFiles            []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic is one finding in the JSON shape `go vet -json`
+// expects from a vet tool.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// RunUnitchecker executes the analyzers against one vet unit described
+// by the cfg file and returns the process exit code: 0 on success (or
+// when emitting JSON), 2 when findings were reported in plain mode.
+func RunUnitchecker(analyzers []*Analyzer, cfgPath string, asJSON bool) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "kvdlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// Facts output: kvdlint carries no cross-package facts, but cmd/go
+	// requires the vetx file to exist before it will cache the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency pass: facts only, no diagnostics wanted
+	}
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if actual, ok := cfg.ImportMap[path]; ok {
+			path = actual
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	unit, err := typeCheck(fset, imp, cfg.ImportPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
+		return 1
+	}
+	findings, err := Run(analyzers, []*Unit{unit})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
+		return 1
+	}
+	if asJSON {
+		byAnalyzer := map[string][]jsonDiagnostic{}
+		for _, f := range findings {
+			byAnalyzer[f.Analyzer.Name] = append(byAnalyzer[f.Analyzer.Name], jsonDiagnostic{
+				Posn:    f.Position.String(),
+				Message: f.Diagnostic.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiagnostic{cfg.ImportPath: byAnalyzer}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	for _, f := range findings {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", f.Position, f.Diagnostic.Message)
+	}
+	if len(findings) > 0 {
+		return 2
+	}
+	return 0
+}

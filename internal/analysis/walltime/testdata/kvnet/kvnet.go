@@ -1,0 +1,14 @@
+// Fixture impersonating kvdirect/kvnet: real networking legitimately
+// consults wall-clock time, so none of this may be flagged.
+package kvnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+func realTimeIsFine() time.Time {
+	_ = rand.Intn(10)
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,26 @@
+// Fixture impersonating a model package (kvdirect/internal/sim): every
+// wall-clock read and global-rand draw here must be flagged.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func violations() {
+	_ = time.Now()                                      // want "calls time.Now"
+	time.Sleep(time.Millisecond)                        // want "calls time.Sleep"
+	_ = time.Since(time.Time{})                         // want "calls time.Since"
+	_ = rand.Intn(10)                                   // want "global math/rand source \\(rand.Intn\\)"
+	rand.Shuffle(3, func(i, j int) {})                  // want "global math/rand source \\(rand.Shuffle\\)"
+	_ = rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeds math/rand from the wall clock"
+}
+
+func allowed() {
+	r := rand.New(rand.NewSource(42)) // explicit seed: reproducible, fine
+	_ = r.Intn(10)                    // method on a seeded *rand.Rand, not the global source
+	d := 5 * time.Millisecond         // duration arithmetic never reads the clock
+	_ = d
+	_ = time.Unix(0, 0) // constructing a fixed instant is fine
+	_ = time.Now()      //lint:allow walltime -- fixture: exercises the suppression path
+}

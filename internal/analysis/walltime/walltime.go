@@ -1,0 +1,144 @@
+// Package walltime bans wall-clock time and the global math/rand source
+// inside the simulation's model packages.
+//
+// The performance model's credibility rests on determinism: given one
+// seed and one operation sequence, a run must reproduce bit-for-bit —
+// that is what makes the paper's figures regenerable and the chaos
+// harness debuggable. A single time.Now or global rand.Intn smuggled
+// into a model package silently breaks that. Real-time use belongs in
+// the outer layers (kvnet, cmd/*, experiments harnesses), which are not
+// audited.
+package walltime
+
+import (
+	"go/ast"
+	"go/types"
+
+	"kvdirect/internal/analysis"
+)
+
+// ModelPackages are the audited package paths: everything that feeds
+// the performance model's accounting. kvnet (real networking), cmd/*
+// and the experiment drivers legitimately consult wall-clock time and
+// are deliberately absent.
+var ModelPackages = map[string]bool{
+	"kvdirect/internal/memory":   true,
+	"kvdirect/internal/nicdram":  true,
+	"kvdirect/internal/pcie":     true,
+	"kvdirect/internal/model":    true,
+	"kvdirect/internal/sim":      true,
+	"kvdirect/internal/syssim":   true,
+	"kvdirect/internal/core":     true,
+	"kvdirect/internal/dispatch": true,
+	"kvdirect/internal/ooo":      true,
+}
+
+// bannedTime are time package functions that read or wait on the wall
+// clock. Constructors like time.Duration arithmetic are fine.
+var bannedTime = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true,
+	"AfterFunc": true,
+}
+
+// globalRand are math/rand package-level functions that consume the
+// process-global source. Explicitly seeded *rand.Rand values (via
+// rand.New(rand.NewSource(seed))) remain allowed.
+var globalRand = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true,
+	"NormFloat64": true, "Perm": true, "Shuffle": true, "Read": true,
+	"Seed": true,
+}
+
+// Analyzer is the walltime pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "walltime",
+	Doc:  "forbid wall-clock time and global math/rand in model packages (determinism invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !ModelPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	// handled marks inner time.Now calls already reported as part of a
+	// seed-from-clock pattern, so they are not double-reported.
+	handled := map[*ast.CallExpr]bool{}
+
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Pattern with a mechanical fix: rand.NewSource(<clock expr>) —
+		// seeding from the clock. Suggest a fixed literal seed.
+		if analysis.IsPkgFunc(pass.TypesInfo, call, "math/rand", "NewSource") && len(call.Args) == 1 {
+			if clock := findTimeCall(pass.TypesInfo, call.Args[0]); clock != nil {
+				handled[clock] = true
+				pass.Report(analysis.Diagnostic{
+					Pos: call.Args[0].Pos(),
+					End: call.Args[0].End(),
+					Message: "model package seeds math/rand from the wall clock; " +
+						"use an explicit seed so runs are reproducible",
+					SuggestedFixes: []analysis.SuggestedFix{{
+						Message: "replace clock-derived seed with the constant 1",
+						TextEdits: []analysis.TextEdit{{
+							Pos: call.Args[0].Pos(), End: call.Args[0].End(),
+							NewText: []byte("1"),
+						}},
+					}},
+				})
+				return true
+			}
+		}
+		if fn := analysis.CalleeFunc(pass.TypesInfo, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] && !isMethod(fn) && !handled[call] {
+					pass.Reportf(call.Pos(),
+						"model package calls time.%s; model code must not consult wall-clock time",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if globalRand[fn.Name()] && !isMethod(fn) {
+					pass.Reportf(call.Pos(),
+						"model package uses the global math/rand source (rand.%s); "+
+							"draw from an explicitly seeded *rand.Rand instead",
+						fn.Name())
+				}
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func isMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// findTimeCall returns the first banned time package call inside expr
+// (e.g. the time.Now() in time.Now().UnixNano()), or nil.
+func findTimeCall(info *types.Info, expr ast.Expr) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := analysis.CalleeFunc(info, call)
+		if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" &&
+			!isMethod(fn) && bannedTime[fn.Name()] {
+			found = call
+			return false
+		}
+		return true
+	})
+	return found
+}

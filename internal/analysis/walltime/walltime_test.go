@@ -1,0 +1,17 @@
+package walltime_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/walltime"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, walltime.Analyzer,
+		// A model package: every clock read and global-rand draw fires.
+		analysistest.Package{Dir: "testdata/sim", Path: "kvdirect/internal/sim"},
+		// A non-model package: identical code, zero diagnostics.
+		analysistest.Package{Dir: "testdata/kvnet", Path: "kvdirect/kvnet"},
+	)
+}

@@ -26,6 +26,15 @@ func u64(v uint64) []byte {
 	return b
 }
 
+// mustPut seeds a key, failing the test on error so later assertions
+// never run against a store missing its fixture data.
+func mustPut(t *testing.T, s *Store, key, value []byte) {
+	t.Helper()
+	if err := s.Put(key, value); err != nil {
+		t.Fatalf("Put(%q): %v", key, err)
+	}
+}
+
 func TestBasicOps(t *testing.T) {
 	s := newStore(t)
 	if err := s.Put([]byte("k"), []byte("v")); err != nil {
@@ -65,7 +74,7 @@ func TestAtomicUpdateScalar(t *testing.T) {
 
 func TestAtomicSwapAndMax(t *testing.T) {
 	s := newStore(t)
-	s.Put([]byte("x"), u64(10))
+	mustPut(t, s, []byte("x"), u64(10))
 	if old, _ := s.Update([]byte("x"), FnSwap, 8, 99); old != 10 {
 		t.Errorf("swap old = %d", old)
 	}
@@ -80,7 +89,7 @@ func TestAtomicSwapAndMax(t *testing.T) {
 
 func TestUpdateWrongScalarWidth(t *testing.T) {
 	s := newStore(t)
-	s.Put([]byte("s"), []byte("not8bytes"))
+	mustPut(t, s, []byte("s"), []byte("not8bytes"))
 	if _, err := s.Update([]byte("s"), FnAdd, 8, 1); err != ErrBadScalar {
 		t.Errorf("expected ErrBadScalar, got %v", err)
 	}
@@ -98,7 +107,7 @@ func TestVectorScalarUpdate(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		binary.LittleEndian.PutUint32(vec[i*4:], uint32(i))
 	}
-	s.Put([]byte("vec"), vec)
+	mustPut(t, s, []byte("vec"), vec)
 	orig, err := s.UpdateScalarToVector([]byte("vec"), FnAdd, 4, 100)
 	if err != nil {
 		t.Fatal(err)
@@ -122,7 +131,7 @@ func TestVectorVectorUpdate(t *testing.T) {
 		binary.LittleEndian.PutUint32(vec[i*4:], uint32(10*i))
 		binary.LittleEndian.PutUint32(params[i*4:], uint32(i+1))
 	}
-	s.Put([]byte("v"), vec)
+	mustPut(t, s, []byte("v"), vec)
 	if _, err := s.UpdateVectorToVector([]byte("v"), FnAdd, 4, params); err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +158,7 @@ func TestReduceSum(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		binary.LittleEndian.PutUint64(vec[i*8:], uint64(i+1))
 	}
-	s.Put([]byte("v"), vec)
+	mustPut(t, s, []byte("v"), vec)
 	sum, err := s.Reduce([]byte("v"), FnAdd, 8, 0)
 	if err != nil || sum != 55 {
 		t.Fatalf("reduce sum = %d err=%v, want 55", sum, err)
@@ -170,7 +179,7 @@ func TestFilterNonZero(t *testing.T) {
 	for i, v := range vals {
 		binary.LittleEndian.PutUint32(vec[i*4:], v)
 	}
-	s.Put([]byte("sparse"), vec)
+	mustPut(t, s, []byte("sparse"), vec)
 	out, err := s.Filter([]byte("sparse"), FilterNonZero, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +199,7 @@ func TestCustomUpdateFunction(t *testing.T) {
 	s := newStore(t)
 	const fnScale uint8 = 100
 	s.RegisterUpdateFunc(fnScale, func(e, p uint64) uint64 { return e * p })
-	s.Put([]byte("x"), u64(6))
+	mustPut(t, s, []byte("x"), u64(6))
 	if _, err := s.Update([]byte("x"), fnScale, 8, 7); err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +221,7 @@ func TestVectorOnMissingKey(t *testing.T) {
 
 func TestBadVectorLength(t *testing.T) {
 	s := newStore(t)
-	s.Put([]byte("odd"), []byte{1, 2, 3}) // not a multiple of 4
+	mustPut(t, s, []byte("odd"), []byte{1, 2, 3}) // not a multiple of 4
 	if _, err := s.UpdateScalarToVector([]byte("odd"), FnAdd, 4, 1); err != ErrBadVector {
 		t.Errorf("expected ErrBadVector, got %v", err)
 	}
@@ -304,7 +313,7 @@ func TestDisableCacheBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Put([]byte("k"), []byte("v"))
+	mustPut(t, s, []byte("k"), []byte("v"))
 	if got := s.Stats().Dispatch; got.CachedReads+got.CachedWrites != 0 {
 		t.Errorf("baseline store used NIC DRAM: %+v", got)
 	}
@@ -316,7 +325,7 @@ func TestDisableCacheBaseline(t *testing.T) {
 
 func TestStatsAndCounters(t *testing.T) {
 	s := newStore(t)
-	s.Put([]byte("a"), []byte("1"))
+	mustPut(t, s, []byte("a"), []byte("1"))
 	st := s.Stats()
 	if st.Keys != 1 || st.PayloadBytes != 2 {
 		t.Errorf("stats keys/payload = %d/%d", st.Keys, st.PayloadBytes)

@@ -12,7 +12,7 @@ func TestRegisterExpressionUpdate(t *testing.T) {
 	if err := s.RegisterExpression(100, "v * p + 1"); err != nil {
 		t.Fatal(err)
 	}
-	s.Put([]byte("x"), u64(6))
+	mustPut(t, s, []byte("x"), u64(6))
 	if _, err := s.Update([]byte("x"), 100, 8, 7); err != nil {
 		t.Fatal(err)
 	}
@@ -27,8 +27,10 @@ func TestRegisterExpressionSaturating(t *testing.T) {
 	if err := s.RegisterExpression(101, "sat_sub(v, p)"); err != nil {
 		t.Fatal(err)
 	}
-	s.Put([]byte("gauge"), u64(5))
-	s.Update([]byte("gauge"), 101, 8, 100) // would underflow; saturates at 0
+	mustPut(t, s, []byte("gauge"), u64(5))
+	if _, err := s.Update([]byte("gauge"), 101, 8, 100); err != nil { // would underflow; saturates at 0
+		t.Fatal(err)
+	}
 	v, _ := s.Get([]byte("gauge"))
 	if got := binary.LittleEndian.Uint64(v); got != 0 {
 		t.Errorf("sat_sub(5,100) = %d, want 0", got)
@@ -44,7 +46,7 @@ func TestRegisterFilterExpression(t *testing.T) {
 	for i, x := range []uint32{1, 3, 5, 6, 9, 10} {
 		binary.LittleEndian.PutUint32(vec[i*4:], x)
 	}
-	s.Put([]byte("v"), vec)
+	mustPut(t, s, []byte("v"), vec)
 	out, err := s.Filter([]byte("v"), 102, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -74,7 +76,7 @@ func TestRegisterExpressionInReduce(t *testing.T) {
 	for i, x := range []uint64{3, 99, 7, 42} {
 		binary.LittleEndian.PutUint64(vec[i*8:], x)
 	}
-	s.Put([]byte("v"), vec)
+	mustPut(t, s, []byte("v"), vec)
 	got, err := s.Reduce([]byte("v"), 104, 8, 0)
 	if err != nil || got != 99 {
 		t.Fatalf("reduce max = %d,%v", got, err)
@@ -88,9 +90,11 @@ func TestApplyRegisterOp(t *testing.T) {
 	if r.Status != wire.StatusOK {
 		t.Fatalf("register failed: %+v", r)
 	}
-	s.Put([]byte("x"), u64(0b1100))
-	s.Apply(wire.Request{Op: wire.OpUpdateScalar, Key: []byte("x"),
-		FuncID: 110, ElemWidth: 8, Param: u64(0b1010)})
+	mustPut(t, s, []byte("x"), u64(0b1100))
+	if r := s.Apply(wire.Request{Op: wire.OpUpdateScalar, Key: []byte("x"),
+		FuncID: 110, ElemWidth: 8, Param: u64(0b1010)}); r.Status != wire.StatusOK {
+		t.Fatalf("update failed: %+v", r)
+	}
 	v, _ := s.Get([]byte("x"))
 	if got := binary.LittleEndian.Uint64(v); got != 0b0110 {
 		t.Errorf("xor result = %b", got)

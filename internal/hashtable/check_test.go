@@ -39,7 +39,9 @@ func TestScanVisitsEverything(t *testing.T) {
 func TestScanEarlyStop(t *testing.T) {
 	tbl, _, _ := testTable(t, 1<<20, 0.5, 20)
 	for i := 0; i < 100; i++ {
-		tbl.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v"))
+		if err := tbl.Put([]byte(fmt.Sprintf("k%03d", i)), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
 	}
 	n := 0
 	tbl.Scan(func(_, _ []byte) bool {
@@ -104,7 +106,9 @@ func TestCheckDetectsBucketCorruption(t *testing.T) {
 
 func TestCheckDetectsAccountingDrift(t *testing.T) {
 	tbl, _, _ := testTable(t, 1<<20, 0.5, 20)
-	tbl.Put([]byte("a"), []byte("b"))
+	if err := tbl.Put([]byte("a"), []byte("b")); err != nil {
+		t.Fatal(err)
+	}
 	tbl.numKeys++ // simulate an accounting bug
 	if _, err := tbl.Check(); err == nil {
 		t.Fatal("accounting drift undetected")

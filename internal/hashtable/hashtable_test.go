@@ -390,12 +390,20 @@ func TestOracleProperty(t *testing.T) {
 
 func TestPayloadAccounting(t *testing.T) {
 	tbl, _, _ := testTable(t, 1<<20, 0.5, 20)
-	tbl.Put([]byte("ab"), []byte("cdef"))               // 6 payload bytes
-	tbl.Put([]byte("xy"), bytes.Repeat([]byte{1}, 100)) // 102
+	for _, kv := range []struct{ k, v []byte }{
+		{[]byte("ab"), []byte("cdef")},               // 6 payload bytes
+		{[]byte("xy"), bytes.Repeat([]byte{1}, 100)}, // 102
+	} {
+		if err := tbl.Put(kv.k, kv.v); err != nil {
+			t.Fatal(err)
+		}
+	}
 	if tbl.PayloadBytes() != 108 {
 		t.Errorf("payload = %d, want 108", tbl.PayloadBytes())
 	}
-	tbl.Put([]byte("ab"), []byte("c")) // 6 -> 3
+	if err := tbl.Put([]byte("ab"), []byte("c")); err != nil { // 6 -> 3
+		t.Fatal(err)
+	}
 	if tbl.PayloadBytes() != 105 {
 		t.Errorf("payload after shrink = %d, want 105", tbl.PayloadBytes())
 	}

@@ -91,7 +91,9 @@ func TestCompareAndSwap(t *testing.T) {
 	if _, _, err := s.CompareAndSwap([]byte("cas"), 3, 0, 1); err != ErrBadWidth {
 		t.Errorf("bad width: %v", err)
 	}
-	s.Put([]byte("str"), []byte("hello"))
+	if err := s.Put([]byte("str"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
 	if _, _, err := s.CompareAndSwap([]byte("str"), 8, 0, 1); err != ErrBadScalar {
 		t.Errorf("non-scalar CAS: %v", err)
 	}

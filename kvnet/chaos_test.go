@@ -45,10 +45,10 @@ func chaosValue(key []byte, v uint64) []byte {
 
 func chaosSum(key []byte, v uint64) uint64 {
 	h := fnv.New64a()
-	h.Write(key)
+	_, _ = h.Write(key) // fnv never errors
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
-	h.Write(b[:])
+	_, _ = h.Write(b[:])
 	return h.Sum64()
 }
 
@@ -95,7 +95,7 @@ func startChaosCluster(t *testing.T, nShards int, seed int64) []*chaosShard {
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { srv.Close() })
+		t.Cleanup(func() { _ = srv.Close() })
 		shards[i] = &chaosShard{store: store, srv: srv, inj: inj}
 	}
 	return shards
@@ -114,7 +114,7 @@ func chaosClient(t *testing.T, addr string) *Client {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { c.Close() })
+	t.Cleanup(func() { _ = c.Close() })
 	return c
 }
 

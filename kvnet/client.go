@@ -134,7 +134,7 @@ func (c *Client) Close() error {
 func (c *Client) reconnectLocked() error {
 	if c.conn != nil || c.broken {
 		if c.conn != nil {
-			c.conn.Close()
+			_ = c.conn.Close() // stale connection; dial result is what matters
 			c.conn = nil
 		}
 		c.counters.Add("client.reconnects", 1)
@@ -155,7 +155,7 @@ func (c *Client) markBrokenLocked() {
 	c.broken = true
 	c.counters.Add("client.broken", 1)
 	if c.conn != nil {
-		c.conn.Close()
+		_ = c.conn.Close() // already poisoned by a transport error
 		c.conn = nil
 	}
 }
@@ -245,7 +245,9 @@ func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 // connection.
 func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
 	if t := c.opts.WriteTimeout; t > 0 {
-		c.conn.SetWriteDeadline(time.Now().Add(t))
+		if err := c.conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
+			return nil, err // connection already unusable; caller marks it broken
+		}
 	}
 	if err := writeFrame(c.w, pkt); err != nil {
 		return nil, err
@@ -254,7 +256,9 @@ func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
 		return nil, err
 	}
 	if t := c.opts.ReadTimeout; t > 0 {
-		c.conn.SetReadDeadline(time.Now().Add(t))
+		if err := c.conn.SetReadDeadline(time.Now().Add(t)); err != nil {
+			return nil, err
+		}
 	}
 	resp, err := readFrame(c.r)
 	if err != nil {

@@ -25,7 +25,7 @@ func Example() {
 	}
 	defer client.Close()
 
-	client.Put([]byte("k"), []byte("v"))
+	_ = client.Put([]byte("k"), []byte("v"))
 	v, found, _ := client.Get([]byte("k"))
 	fmt.Println(string(v), found)
 
@@ -64,14 +64,14 @@ func ExampleBatcher() {
 	acked := 0
 	for i := 0; i < 20; i++ {
 		key := []byte(fmt.Sprintf("k%02d", i))
-		b.Submit(kvdirect.Op{Code: kvdirect.OpPut, Key: key, Value: key},
+		_ = b.Submit(kvdirect.Op{Code: kvdirect.OpPut, Key: key, Value: key},
 			func(r kvdirect.Result) {
 				if r.OK() {
 					acked++
 				}
 			})
 	}
-	b.Flush()
+	_ = b.Flush()
 	fmt.Println(acked)
 	// Output: 20
 }

@@ -204,7 +204,7 @@ func TestServerSurvivesBadBatch(t *testing.T) {
 
 	pkt, _ := kvdirect.EncodeBatch([]kvdirect.Op{{Code: kvdirect.OpStats}})
 	var good bytes.Buffer
-	writeFrame(&good, pkt)
+	_ = writeFrame(&good, pkt) // bytes.Buffer cannot fail
 	if _, err := conn.Write(good.Bytes()); err != nil {
 		t.Fatal(err)
 	}

@@ -21,12 +21,12 @@ func startServer(t *testing.T) (*Server, *Client) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { srv.Close() })
+	t.Cleanup(func() { _ = srv.Close() })
 	c, err := Dial(srv.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { c.Close() })
+	t.Cleanup(func() { _ = c.Close() })
 	return srv, c
 }
 
@@ -172,7 +172,7 @@ func TestLargeValues(t *testing.T) {
 
 func TestServerCloseUnblocksClients(t *testing.T) {
 	srv, c := startServer(t)
-	srv.Close()
+	_ = srv.Close() // deliberate: observe client behavior after shutdown
 	if err := c.Put([]byte("x"), []byte("y")); err == nil {
 		// Connection may have been accepted before close; a second call
 		// must fail once the server is gone.

@@ -175,7 +175,9 @@ func TestClosedClientFailsFast(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c.Close()
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
 	if _, _, err := c.Get([]byte("k")); !errors.Is(err, ErrClosed) {
 		t.Fatalf("err = %v, want ErrClosed", err)
 	}
@@ -276,7 +278,7 @@ func TestWriteDeadlineUnsticksStalledClient(t *testing.T) {
 	}
 
 	done := make(chan struct{})
-	go func() { srv.Close(); close(done) }()
+	go func() { _ = srv.Close(); close(done) }()
 	select {
 	case <-done:
 	case <-time.After(5 * time.Second):

@@ -130,7 +130,7 @@ func (s *Server) Close() error {
 		s.closeErr = s.ln.Close()
 		s.connMu.Lock()
 		for c := range s.conns {
-			c.Close()
+			_ = c.Close() // unblock the handler; shutdown outcome is ln.Close's
 		}
 		s.connMu.Unlock()
 		s.wg.Wait()
@@ -168,7 +168,9 @@ func (s *Server) handle(conn net.Conn) {
 	w := bufio.NewWriter(conn)
 	for {
 		if t := s.opts.ReadIdleTimeout; t > 0 {
-			conn.SetReadDeadline(time.Now().Add(t))
+			if err := conn.SetReadDeadline(time.Now().Add(t)); err != nil {
+				return // connection already torn down
+			}
 		}
 		pkt, err := readFrame(r)
 		if err != nil {
@@ -248,14 +250,16 @@ func (s *Server) reply(conn net.Conn, w *bufio.Writer, out []byte) bool {
 		return false
 	}
 	if t := s.opts.WriteTimeout; t > 0 {
-		conn.SetWriteDeadline(time.Now().Add(t))
+		if err := conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
+			return false // connection already torn down
+		}
 	}
 	if f.Should(fault.NetTruncateFrame) {
 		// Half a frame, then the wire goes dead: the client sees a short
 		// read and must recover.
 		s.counters.Add("server.truncations_injected", 1)
 		writeTruncatedFrame(w, out)
-		w.Flush()
+		_ = w.Flush() // the connection is being killed by design
 		return false
 	}
 	var err error
@@ -283,12 +287,12 @@ func (s *Server) reply(conn net.Conn, w *bufio.Writer, out []byte) bool {
 func writeTruncatedFrame(w *bufio.Writer, out []byte) {
 	full := make([]byte, 0, frameHeaderBytes+len(out))
 	buf := &appendWriter{buf: full}
-	writeFrame(buf, out)
+	_ = writeFrame(buf, out) // appendWriter cannot fail
 	cut := frameHeaderBytes + len(out)/2
 	if cut > len(buf.buf) {
 		cut = len(buf.buf)
 	}
-	w.Write(buf.buf[:cut])
+	_, _ = w.Write(buf.buf[:cut]) // partial bytes on a doomed connection
 }
 
 // writeCorruptFrame emits a frame whose CRC matches the pristine payload

@@ -27,7 +27,7 @@ func DialShards(addrs []string) (*ShardedClient, error) {
 	for i, addr := range addrs {
 		c, err := Dial(addr)
 		if err != nil {
-			sc.Close()
+			_ = sc.Close() // best-effort cleanup; the dial error is reported
 			return nil, fmt.Errorf("kvnet: shard %d (%s): %w", i, addr, err)
 		}
 		sc.clients[i] = c

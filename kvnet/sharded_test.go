@@ -23,14 +23,14 @@ func startShardedDeployment(t *testing.T, n int) (*kvdirect.Cluster, *ShardedCli
 		if err != nil {
 			t.Fatal(err)
 		}
-		t.Cleanup(func() { srv.Close() })
+		t.Cleanup(func() { _ = srv.Close() })
 		addrs[i] = srv.Addr()
 	}
 	sc, err := DialShards(addrs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t.Cleanup(func() { sc.Close() })
+	t.Cleanup(func() { _ = sc.Close() })
 	return cluster, sc
 }
 
@@ -181,9 +181,14 @@ func TestBatcherOrderPreserved(t *testing.T) {
 	var order []string
 	for i := 0; i < 10; i++ {
 		v := fmt.Sprintf("v%d", i)
-		b.Submit(kvdirect.Op{Code: kvdirect.OpPut, Key: []byte("same"), Value: []byte(v)}, nil)
-		b.Submit(kvdirect.Op{Code: kvdirect.OpGet, Key: []byte("same")},
+		if err := b.Submit(kvdirect.Op{Code: kvdirect.OpPut, Key: []byte("same"), Value: []byte(v)}, nil); err != nil {
+			t.Fatal(err)
+		}
+		err := b.Submit(kvdirect.Op{Code: kvdirect.OpGet, Key: []byte("same")},
 			func(r kvdirect.Result) { order = append(order, string(r.Value)) })
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	if err := b.Flush(); err != nil {
 		t.Fatal(err)

@@ -73,9 +73,13 @@ func TestTraceReplayAcrossConfigs(t *testing.T) {
 	tw := NewTraceWriter(&buf)
 	for i := 0; i < 50; i++ {
 		k := []byte(fmt.Sprintf("cfg-%03d", i))
-		tw.Record([]Op{{Code: OpPut, Key: k, Value: bytes.Repeat([]byte{1}, i*5)}})
+		if err := tw.Record([]Op{{Code: OpPut, Key: k, Value: bytes.Repeat([]byte{1}, i*5)}}); err != nil {
+			t.Fatal(err)
+		}
 	}
-	tw.Flush()
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
 
 	for _, cfg := range []Config{
 		{MemoryBytes: 8 << 20, InlineThreshold: -1},
@@ -98,8 +102,12 @@ func TestTraceReplayAcrossConfigs(t *testing.T) {
 func TestTraceCorruptionDetected(t *testing.T) {
 	var buf bytes.Buffer
 	tw := NewTraceWriter(&buf)
-	tw.Record([]Op{{Code: OpPut, Key: []byte("k"), Value: []byte("v")}})
-	tw.Flush()
+	if err := tw.Record([]Op{{Code: OpPut, Key: []byte("k"), Value: []byte("v")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	good := buf.Bytes()
 
 	cases := map[string][]byte{
@@ -123,9 +131,14 @@ func TestTraceEmptyAndCallbackError(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	tw := NewTraceWriter(&buf)
-	tw.Record([]Op{{Code: OpGet, Key: []byte("k")}})
-	tw.Record([]Op{{Code: OpGet, Key: []byte("k")}})
-	tw.Flush()
+	for i := 0; i < 2; i++ {
+		if err := tw.Record([]Op{{Code: OpGet, Key: []byte("k")}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
 	stop := fmt.Errorf("stop")
 	batches, _, err := ReplayFunc(bytes.NewReader(buf.Bytes()), func([]Op) error { return stop })
 	if err != stop || batches != 1 {
