@@ -26,9 +26,11 @@ test: build
 race: vet
 	$(GO) test -race ./...
 
-# Just the chaos/resilience suite (fault injection across every layer).
+# Just the chaos/resilience suite (fault injection across every layer,
+# replication failover included).
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos|TestServerSurvives|TestClientRe|TestNonIdempotent|TestNoReconnect|TestWriteDeadline|TestServerPanic' ./kvnet/
+	$(GO) test -race -count=2 -v -run 'TestFailover|TestPartitioned|TestDropEntry|TestSnapshotCatchup' ./kvrepl/
 
 bench:
 	$(GO) test -bench=BenchmarkStorePutGet -benchmem -count=5 -run '^$$' ./internal/core/

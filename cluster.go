@@ -17,9 +17,14 @@ type Cluster struct {
 	stores []*Store
 }
 
+// newClusterStore is the store constructor the cluster builders use; a
+// seam so tests can fail the k-th construction and check cleanup.
+var newClusterStore = New
+
 // NewCluster creates n stores, each configured with cfg (cfg.MemoryBytes
 // is the per-NIC partition size, as in the paper where each of the 10
-// NICs owns a slice of the 128 GiB host memory).
+// NICs owns a slice of the 128 GiB host memory). If any store fails to
+// build, the ones already built are closed before the error returns.
 func NewCluster(n int, cfg Config) (*Cluster, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("kvdirect: cluster needs at least one store, got %d", n)
@@ -28,13 +33,23 @@ func NewCluster(n int, cfg Config) (*Cluster, error) {
 	for i := range c.stores {
 		shardCfg := cfg
 		shardCfg.Seed = cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
-		s, err := New(shardCfg)
+		s, err := newClusterStore(shardCfg)
 		if err != nil {
+			for _, built := range c.stores[:i] {
+				built.Close()
+			}
 			return nil, err
 		}
 		c.stores[i] = s
 	}
 	return c, nil
+}
+
+// Close releases every shard. Idempotent.
+func (c *Cluster) Close() {
+	for _, s := range c.stores {
+		s.Close()
+	}
 }
 
 // NumShards returns the number of stores (NICs).

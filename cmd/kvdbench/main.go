@@ -48,6 +48,16 @@ func main() {
 		return
 	}
 
+	if args[0] == "bench" {
+		// Micro-benchmarks (replicated-write overhead vs single-store
+		// baseline); with -json the rows also land in BENCH_results.json.
+		if err := runBenchmarks(*asJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "kvdbench: bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	var todo []experiments.Experiment
 	if args[0] == "all" {
 		todo = experiments.All()
@@ -84,7 +94,10 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `kvdbench — regenerate the KV-Direct paper's evaluation
 
-usage: kvdbench [-quick] [-seed N] [-json] <experiment>... | all | list
+usage: kvdbench [-quick] [-seed N] [-json] <experiment>... | all | list | bench
+
+'bench' runs micro-benchmarks (single-store vs replicated writes);
+with -json the results are also written to BENCH_results.json.
 
 experiments:
 `)

@@ -139,6 +139,8 @@ type Store struct {
 
 	updateFns map[uint8]UpdateFunc
 	filterFns map[uint8]FilterFunc
+
+	closed bool
 }
 
 // NewStore builds a store per cfg.
@@ -219,6 +221,23 @@ func NewStore(cfg Config) (*Store, error) {
 
 // Config returns the effective (defaulted) configuration.
 func (s *Store) Config() Config { return s.cfg }
+
+// Close releases the store: the pipeline is drained and the simulated
+// NIC is decommissioned. The store holds no OS resources, so Close is
+// about lifecycle hygiene — owners that build several stores (Cluster,
+// replica groups) call it on every store they created when construction
+// fails partway or the owner shuts down. Close is idempotent; Closed
+// reports it for leak tests.
+func (s *Store) Close() {
+	if s.closed {
+		return
+	}
+	s.engine.Flush()
+	s.closed = true
+}
+
+// Closed reports whether Close has been called.
+func (s *Store) Closed() bool { return s.closed }
 
 // RegisterUpdateFunc registers λ under id, overriding any builtin. This is
 // the software analogue of compiling a user-defined function into the

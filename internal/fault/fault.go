@@ -57,21 +57,37 @@ const (
 	NetTruncateFrame
 	// NetReset abruptly closes the connection instead of responding.
 	NetReset
+	// ReplDropEntry silently loses one log entry on the primary→backup
+	// shipping path; the backup detects the sequence gap on the next
+	// entry and forces a stream resync.
+	ReplDropEntry
+	// ReplStallBackup delays a backup's apply of one log entry, growing
+	// replication lag; quorum acks must still arrive via the remaining
+	// backups.
+	ReplStallBackup
+	// ReplPartitionPrimary suppresses one primary→coordinator heartbeat,
+	// simulating a partitioned primary: enough consecutive hits expire
+	// the lease and trigger failover while the old primary still lives,
+	// exercising epoch fencing.
+	ReplPartitionPrimary
 
 	// NumPoints is the number of injection points.
 	NumPoints
 )
 
 var pointNames = [NumPoints]string{
-	HostBitFlip:       "host_bitflip",
-	HostDoubleBitFlip: "host_double_bitflip",
-	DRAMBitFlip:       "dram_bitflip",
-	DRAMDoubleBitFlip: "dram_double_bitflip",
-	PCIeStall:         "pcie_stall",
-	PCIeDropTag:       "pcie_drop_tag",
-	NetCorruptFrame:   "net_corrupt_frame",
-	NetTruncateFrame:  "net_truncate_frame",
-	NetReset:          "net_reset",
+	HostBitFlip:          "host_bitflip",
+	HostDoubleBitFlip:    "host_double_bitflip",
+	DRAMBitFlip:          "dram_bitflip",
+	DRAMDoubleBitFlip:    "dram_double_bitflip",
+	PCIeStall:            "pcie_stall",
+	PCIeDropTag:          "pcie_drop_tag",
+	NetCorruptFrame:      "net_corrupt_frame",
+	NetTruncateFrame:     "net_truncate_frame",
+	NetReset:             "net_reset",
+	ReplDropEntry:        "repl_drop_entry",
+	ReplStallBackup:      "repl_stall_backup",
+	ReplPartitionPrimary: "repl_partition_primary",
 }
 
 func (p Point) String() string {

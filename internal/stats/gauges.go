@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Gauges is a registry of named instantaneous values, the non-monotonic
+// sibling of Counters: where a counter accumulates events, a gauge
+// reports a current level — replication lag in entries, the size of a
+// catch-up backlog, the number of live peer streams. Safe for
+// concurrent use; handles returned by Gauge are stable so hot paths
+// resolve a name once.
+type Gauges struct {
+	mu    sync.RWMutex
+	order []string
+	vals  map[string]*atomic.Uint64
+}
+
+// NewGauges returns an empty registry.
+func NewGauges() *Gauges {
+	return &Gauges{vals: map[string]*atomic.Uint64{}}
+}
+
+// Gauge returns the gauge registered under name, creating it at zero on
+// first use.
+func (g *Gauges) Gauge(name string) *atomic.Uint64 {
+	g.mu.RLock()
+	v := g.vals[name]
+	g.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v = g.vals[name]; v == nil {
+		v = new(atomic.Uint64)
+		g.vals[name] = v
+		g.order = append(g.order, name)
+	}
+	return v
+}
+
+// Set stores the current level of name.
+func (g *Gauges) Set(name string, v uint64) { g.Gauge(name).Store(v) }
+
+// Get returns name's current level (zero if never registered).
+func (g *Gauges) Get(name string) uint64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if v := g.vals[name]; v != nil {
+		return v.Load()
+	}
+	return 0
+}
+
+// SetMax raises name to v if v is higher, for high-water marks.
+func (g *Gauges) SetMax(name string, v uint64) {
+	gv := g.Gauge(name)
+	for {
+		cur := gv.Load()
+		if v <= cur || gv.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Snapshot returns all gauges in registration order.
+func (g *Gauges) Snapshot() []CounterValue {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]CounterValue, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, CounterValue{Name: name, Value: g.vals[name].Load()})
+	}
+	return out
+}
+
+// String renders the gauges as "name=value" lines in registration
+// order, matching the counter/status-register text format.
+func (g *Gauges) String() string {
+	var b strings.Builder
+	for _, cv := range g.Snapshot() {
+		fmt.Fprintf(&b, "%s=%d\n", cv.Name, cv.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,62 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestGaugesSetGet(t *testing.T) {
+	g := NewGauges()
+	if got := g.Get("repl.lag"); got != 0 {
+		t.Fatalf("unregistered gauge = %d", got)
+	}
+	g.Set("repl.lag", 7)
+	g.Set("repl.lag", 3) // gauges go down, unlike counters
+	if got := g.Get("repl.lag"); got != 3 {
+		t.Fatalf("lag = %d, want 3", got)
+	}
+}
+
+func TestGaugesSetMax(t *testing.T) {
+	g := NewGauges()
+	g.SetMax("repl.lag_max", 5)
+	g.SetMax("repl.lag_max", 2)
+	g.SetMax("repl.lag_max", 9)
+	if got := g.Get("repl.lag_max"); got != 9 {
+		t.Fatalf("lag_max = %d, want 9", got)
+	}
+}
+
+func TestGaugesSnapshotOrderAndString(t *testing.T) {
+	g := NewGauges()
+	g.Set("b", 2)
+	g.Set("a", 1)
+	snap := g.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "b" || snap[1].Name != "a" {
+		t.Fatalf("snapshot %v not in registration order", snap)
+	}
+	if s := g.String(); !strings.Contains(s, "b=2\n") || !strings.Contains(s, "a=1\n") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestGaugesConcurrent(t *testing.T) {
+	g := NewGauges()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Set("x", uint64(i))
+				g.SetMax("x_max", uint64(w*1000+i))
+				_ = g.Get("x")
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Get("x_max"); got != 7999 {
+		t.Fatalf("x_max = %d, want 7999", got)
+	}
+}

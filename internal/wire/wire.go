@@ -114,6 +114,11 @@ const (
 	StatusOK       uint8 = 0
 	StatusNotFound uint8 = 1
 	StatusError    uint8 = 2
+	// StatusNotPrimary rejects a mutating operation sent to a replica
+	// that is not its group's primary. The operation was NOT applied, so
+	// retrying it elsewhere is always safe; the response value optionally
+	// carries the current primary's address as a redirect hint.
+	StatusNotPrimary uint8 = 3
 )
 
 // Response is one operation result.

@@ -140,6 +140,10 @@ const (
 	StatusOK       = wire.StatusOK
 	StatusNotFound = wire.StatusNotFound
 	StatusError    = wire.StatusError
+	// StatusNotPrimary rejects a mutating operation sent to a replica
+	// that is not its group's primary; the op was not applied and the
+	// value may carry the primary's address as a redirect hint.
+	StatusNotPrimary = wire.StatusNotPrimary
 )
 
 // Op is one operation in a client batch.
@@ -163,6 +167,11 @@ func (r Result) OK() bool { return r.Status == StatusOK }
 
 // NotFound reports whether the key was absent.
 func (r Result) NotFound() bool { return r.Status == StatusNotFound }
+
+// NotPrimary reports whether a replica rejected the operation because it
+// is not its group's primary (Value optionally holds the primary's
+// address).
+func (r Result) NotPrimary() bool { return r.Status == StatusNotPrimary }
 
 // toWire converts public ops to the internal wire representation.
 func toWire(ops []Op) []wire.Request {

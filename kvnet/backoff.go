@@ -1,0 +1,47 @@
+package kvnet
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Backoff computes jittered exponential retry delays: attempt n (1-based)
+// waits Base<<(n-1) capped at Max, ±50% jitter so a fleet of retrying
+// peers doesn't thunder in lockstep. It is the one retry-pacing policy in
+// the system — the client's transport retries and kvrepl's log-stream
+// redials both draw from it.
+//
+// A Backoff is not safe for concurrent use; give each retry loop its own.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+	rng  *rand.Rand
+}
+
+// NewBackoff returns a Backoff seeded for deterministic jitter.
+func NewBackoff(base, max time.Duration, seed int64) *Backoff {
+	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Delay returns the wait before retry n (1-based).
+func (b *Backoff) Delay(n int) time.Duration {
+	if n < 1 {
+		n = 1
+	}
+	d := b.Base << uint(n-1)
+	if d > b.Max || d <= 0 {
+		d = b.Max
+	}
+	if d <= 0 {
+		return 0
+	}
+	jitter := time.Duration(b.rng.Int63n(int64(d))) - d/2
+	return d + jitter
+}
+
+// Sleep blocks for Delay(n).
+func (b *Backoff) Sleep(n int) {
+	if d := b.Delay(n); d > 0 {
+		time.Sleep(d)
+	}
+}

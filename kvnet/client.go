@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -70,6 +69,21 @@ var ErrClosed = errors.New("kvnet: client closed")
 // prevents recovery.
 var ErrBroken = errors.New("kvnet: connection broken")
 
+// NotPrimaryError reports that the addressed replica is not its group's
+// primary; the operation was not applied, so retrying it at Hint (or any
+// other replica) is always safe — even for non-idempotent updates.
+type NotPrimaryError struct {
+	// Hint is the current primary's address, when the replica knows it.
+	Hint string
+}
+
+func (e *NotPrimaryError) Error() string {
+	if e.Hint == "" {
+		return "kvnet: replica is not the primary"
+	}
+	return "kvnet: replica is not the primary (primary at " + e.Hint + ")"
+}
+
 // Client is a KV-Direct network client. It is safe for concurrent use;
 // requests on one connection are serialized (batch multiple operations
 // into one Do call for throughput, as the paper's clients do).
@@ -90,7 +104,7 @@ type Client struct {
 	closed bool
 
 	counters *stats.Counters
-	rng      *rand.Rand
+	backoff  *Backoff
 }
 
 // Dial connects to a KV-Direct server with default options.
@@ -104,8 +118,8 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		opts:     opts.withDefaults(),
 		addr:     addr,
 		counters: stats.NewCounters(),
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	c.backoff = NewBackoff(c.opts.RetryBaseDelay, c.opts.RetryMaxDelay, time.Now().UnixNano())
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.reconnectLocked(); err != nil {
@@ -174,20 +188,10 @@ func (c *Client) ensureConnLocked() error {
 	return c.reconnectLocked()
 }
 
-// backoffLocked sleeps before retry n (1-based): exponential from
-// RetryBaseDelay capped at RetryMaxDelay, with ±50% jitter so a fleet of
-// clients doesn't retry in lockstep.
-func (c *Client) backoffLocked(n int) {
-	d := c.opts.RetryBaseDelay << uint(n-1)
-	if d > c.opts.RetryMaxDelay || d <= 0 {
-		d = c.opts.RetryMaxDelay
-	}
-	if d <= 0 {
-		return
-	}
-	jitter := time.Duration(c.rng.Int63n(int64(d))) - d/2
-	time.Sleep(d + jitter)
-}
+// backoffLocked sleeps before retry n (1-based) per the client's Backoff
+// policy (exponential from RetryBaseDelay capped at RetryMaxDelay, with
+// jitter so a fleet of clients doesn't retry in lockstep).
+func (c *Client) backoffLocked(n int) { c.backoff.Sleep(n) }
 
 // idempotent reports whether replaying the batch is safe. Get, Put,
 // Delete, Reduce, Filter, Stats and Register all converge when repeated
@@ -277,6 +281,15 @@ func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
 	return results, nil
 }
 
+// asNotPrimary converts a replica's rejection into its typed error, nil
+// for any other result.
+func asNotPrimary(r kvdirect.Result) error {
+	if r.NotPrimary() {
+		return &NotPrimaryError{Hint: string(r.Value)}
+	}
+	return nil
+}
+
 // Get fetches key's value.
 func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
 	res, err := c.Do([]kvdirect.Op{{Code: kvdirect.OpGet, Key: key}})
@@ -290,6 +303,9 @@ func (c *Client) Get(key []byte) (value []byte, found bool, err error) {
 	case r.NotFound():
 		return nil, false, nil
 	default:
+		if err := asNotPrimary(r); err != nil {
+			return nil, false, err
+		}
 		return nil, false, fmt.Errorf("kvnet: get: %s", r.Value)
 	}
 }
@@ -301,6 +317,9 @@ func (c *Client) Put(key, value []byte) error {
 		return err
 	}
 	if !res[0].OK() {
+		if err := asNotPrimary(res[0]); err != nil {
+			return err
+		}
 		return fmt.Errorf("kvnet: put: %s", res[0].Value)
 	}
 	return nil
@@ -318,6 +337,9 @@ func (c *Client) Delete(key []byte) (bool, error) {
 	case res[0].NotFound():
 		return false, nil
 	default:
+		if err := asNotPrimary(res[0]); err != nil {
+			return false, err
+		}
 		return false, fmt.Errorf("kvnet: delete: %s", res[0].Value)
 	}
 }
@@ -337,6 +359,9 @@ func (c *Client) FetchAdd(key []byte, delta uint64) (old uint64, err error) {
 	}
 	r := res[0]
 	if !r.OK() {
+		if err := asNotPrimary(r); err != nil {
+			return 0, err
+		}
 		return 0, fmt.Errorf("kvnet: fetch-add: %s", r.Value)
 	}
 	if len(r.Value) == 8 {

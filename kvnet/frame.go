@@ -50,6 +50,14 @@ func readFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
+// ReadFrame reads one checksummed frame from r — the same framing the
+// client/server path uses, exported so other transports (kvrepl's log
+// shipping stream) reuse it instead of inventing their own.
+func ReadFrame(r io.Reader) ([]byte, error) { return readFrame(r) }
+
+// WriteFrame writes one checksummed frame to w.
+func WriteFrame(w io.Writer, pkt []byte) error { return writeFrame(w, pkt) }
+
 // writeFrame writes one checksummed frame.
 func writeFrame(w io.Writer, pkt []byte) error {
 	if len(pkt) > MaxFrame {

@@ -60,11 +60,51 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	return o
 }
 
-// Server exposes one Store over TCP.
+// Backend applies one decoded batch of requests — the pluggable KV
+// processor behind a Server. The default backend is a Store; kvrepl's
+// replicas implement Backend to interpose sequence numbering, log
+// shipping and quorum acknowledgment on the same wire path.
+//
+// ApplyBatch is never called concurrently by one Server (the single
+// hardware pipeline); a Backend shared across Servers must serialize
+// itself.
+type Backend interface {
+	ApplyBatch(reqs []wire.Request) []wire.Response
+}
+
+// storeBackend adapts a Store, isolating each operation's panics: a
+// fault tripping a panic (e.g. a corrupted pointer walking off the
+// address space, or a registered λ misbehaving) becomes that
+// operation's error response.
+type storeBackend struct {
+	store    *kvdirect.Store
+	counters *stats.Counters
+}
+
+func (b storeBackend) ApplyBatch(reqs []wire.Request) []wire.Response {
+	out := make([]wire.Response, len(reqs))
+	for i, req := range reqs {
+		out[i] = b.applyOne(req)
+	}
+	return out
+}
+
+func (b storeBackend) applyOne(req wire.Request) (resp wire.Response) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.counters.Add("server.panics", 1)
+			resp = wire.Response{Status: wire.StatusError,
+				Value: []byte(fmt.Sprintf("panic: %v", r))}
+		}
+	}()
+	return b.store.Apply(req)
+}
+
+// Server exposes one Backend (usually a Store) over TCP.
 type Server struct {
-	store *kvdirect.Store
-	opts  ServerOptions
-	ln    net.Listener
+	backend Backend
+	opts    ServerOptions
+	ln      net.Listener
 
 	mu sync.Mutex // serializes store access (the single KV pipeline)
 	wg sync.WaitGroup
@@ -86,16 +126,27 @@ func Serve(store *kvdirect.Store, addr string) (*Server, error) {
 
 // ServeOptions starts a server on addr.
 func ServeOptions(store *kvdirect.Store, addr string, opts ServerOptions) (*Server, error) {
+	counters := stats.NewCounters()
+	return serve(storeBackend{store: store, counters: counters}, addr, opts, counters)
+}
+
+// ServeBackend starts a server on addr fronting an arbitrary Backend
+// (e.g. a kvrepl replica).
+func ServeBackend(backend Backend, addr string, opts ServerOptions) (*Server, error) {
+	return serve(backend, addr, opts, stats.NewCounters())
+}
+
+func serve(backend Backend, addr string, opts ServerOptions, counters *stats.Counters) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvnet: %w", err)
 	}
 	s := &Server{
-		store:    store,
+		backend:  backend,
 		opts:     opts.withDefaults(),
 		ln:       ln,
 		conns:    map[net.Conn]struct{}{},
-		counters: stats.NewCounters(),
+		counters: counters,
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -206,29 +257,11 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// apply runs a batch against the store, isolating each operation's
-// panics: a fault tripping a panic (e.g. a corrupted pointer walking off
-// the address space, or a registered λ misbehaving) becomes that
-// operation's error response.
+// apply runs a batch against the backend under the pipeline lock.
 func (s *Server) apply(reqs []wire.Request) []wire.Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make([]wire.Response, len(reqs))
-	for i, req := range reqs {
-		out[i] = s.applyOne(req)
-	}
-	return out
-}
-
-func (s *Server) applyOne(req wire.Request) (resp wire.Response) {
-	defer func() {
-		if r := recover(); r != nil {
-			s.counters.Add("server.panics", 1)
-			resp = wire.Response{Status: wire.StatusError,
-				Value: []byte(fmt.Sprintf("panic: %v", r))}
-		}
-	}()
-	return s.store.Apply(req)
+	return s.backend.ApplyBatch(reqs)
 }
 
 // errorFrame encodes a single-error-response frame.

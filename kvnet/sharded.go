@@ -1,59 +1,120 @@
 package kvnet
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"sync"
 
 	"kvdirect"
+	"kvdirect/internal/stats"
 )
 
+// ShardAddrs names one shard's replica endpoints: Primary is the
+// believed write endpoint, Backups are promotion candidates tried when
+// the primary stops answering or answers "not primary".
+type ShardAddrs struct {
+	Primary string
+	Backups []string
+}
+
 // ShardedClient talks to a multi-NIC KV-Direct deployment (paper §5.2):
-// one server endpoint per programmable NIC, each owning a disjoint slice
-// of the key space. Keys route by the same hash kvdirect.Cluster uses,
-// so a Cluster fronted by per-shard Servers and a ShardedClient agree on
+// one endpoint per programmable NIC, each owning a disjoint slice of the
+// key space. Keys route by the same hash kvdirect.Cluster uses, so a
+// Cluster fronted by per-shard Servers and a ShardedClient agree on
 // placement.
+//
+// With replicated shards (kvrepl), each shard is a whole replica group:
+// the client tracks every member's address, follows NotPrimary redirect
+// hints, rotates to promotion candidates when the primary dies, and
+// accepts routing republishes (UpdateShard) from the membership
+// coordinator — so a failover is invisible to callers beyond retry
+// latency. Non-idempotent batches are never replayed after an ambiguous
+// transport failure, exactly as on a single connection; a NotPrimary
+// rejection is unambiguous (nothing was applied) and is always retried.
 //
 // Like Client, it is safe for concurrent use.
 type ShardedClient struct {
-	clients []*Client
+	shards   []*replicaSet
+	counters *stats.Counters
 }
 
-// DialShards connects to every endpoint. On failure, already-opened
-// connections are closed.
+// DialShards connects to every endpoint (one replica per shard). On
+// failure, already-opened connections are closed.
 func DialShards(addrs []string) (*ShardedClient, error) {
-	if len(addrs) == 0 {
+	shards := make([]ShardAddrs, len(addrs))
+	for i, a := range addrs {
+		shards[i] = ShardAddrs{Primary: a}
+	}
+	return DialReplicaShards(shards, Options{})
+}
+
+// DialReplicaShards connects to a deployment of replicated shards,
+// eagerly dialing each shard's primary. Backup connections are opened
+// lazily on first failover.
+func DialReplicaShards(shards []ShardAddrs, opts Options) (*ShardedClient, error) {
+	if len(shards) == 0 {
 		return nil, fmt.Errorf("kvnet: no shard addresses")
 	}
-	sc := &ShardedClient{clients: make([]*Client, len(addrs))}
-	for i, addr := range addrs {
-		c, err := Dial(addr)
-		if err != nil {
-			_ = sc.Close() // best-effort cleanup; the dial error is reported
-			return nil, fmt.Errorf("kvnet: shard %d (%s): %w", i, addr, err)
+	sc := &ShardedClient{
+		shards:   make([]*replicaSet, len(shards)),
+		counters: stats.NewCounters(),
+	}
+	for i, sh := range shards {
+		if sh.Primary == "" {
+			_ = sc.Close() // best-effort cleanup; the config error is reported
+			return nil, fmt.Errorf("kvnet: shard %d has no primary address", i)
 		}
-		sc.clients[i] = c
+		rs := newReplicaSet(sh, opts, sc.counters)
+		if _, _, err := rs.client(); err != nil {
+			_ = sc.Close() // best-effort cleanup; the dial error is reported
+			return nil, fmt.Errorf("kvnet: shard %d (%s): %w", i, sh.Primary, err)
+		}
+		sc.shards[i] = rs
 	}
 	return sc, nil
 }
 
+// Counters exposes the routing-layer counters: sharded.redirects
+// (NotPrimary hints followed), sharded.rotations (blind failover
+// rotations after transport errors) and sharded.route_updates
+// (coordinator republishes applied).
+func (sc *ShardedClient) Counters() *stats.Counters { return sc.counters }
+
 // Close closes every shard connection, returning the first error.
 func (sc *ShardedClient) Close() error {
 	var first error
-	for _, c := range sc.clients {
-		if c == nil {
+	for _, rs := range sc.shards {
+		if rs == nil {
 			continue
 		}
-		if err := c.Close(); err != nil && first == nil {
+		if err := rs.close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
-// NumShards returns the number of endpoints.
-func (sc *ShardedClient) NumShards() int { return len(sc.clients) }
+// NumShards returns the number of shards.
+func (sc *ShardedClient) NumShards() int { return len(sc.shards) }
 
-// shardFor mirrors kvdirect.Cluster's routing hash.
-func (sc *ShardedClient) shardFor(key []byte) *Client {
+// UpdateShard republishes shard i's routing — the coordinator calls this
+// after a failover so clients jump straight to the new primary instead
+// of discovering it by probing.
+func (sc *ShardedClient) UpdateShard(i int, addrs ShardAddrs) error {
+	if i < 0 || i >= len(sc.shards) {
+		return fmt.Errorf("kvnet: shard %d out of range", i)
+	}
+	if addrs.Primary == "" {
+		return fmt.Errorf("kvnet: shard %d republish has no primary", i)
+	}
+	sc.shards[i].update(addrs)
+	sc.counters.Add("sharded.route_updates", 1)
+	return nil
+}
+
+// shardIndex mirrors kvdirect.Cluster's routing hash.
+func (sc *ShardedClient) shardIndex(key []byte) int {
 	h := uint64(14695981039346656037)
 	for _, b := range key {
 		h ^= uint64(b)
@@ -62,27 +123,74 @@ func (sc *ShardedClient) shardFor(key []byte) *Client {
 	h ^= h >> 33
 	h *= 0xC4CEB9FE1A85EC53
 	h ^= h >> 33
-	return sc.clients[h%uint64(len(sc.clients))]
+	return int(h % uint64(len(sc.shards)))
 }
 
 // Get routes a GET to the owning shard.
 func (sc *ShardedClient) Get(key []byte) ([]byte, bool, error) {
-	return sc.shardFor(key).Get(key)
+	res, err := sc.shards[sc.shardIndex(key)].do([]kvdirect.Op{{Code: kvdirect.OpGet, Key: key}})
+	if err != nil {
+		return nil, false, err
+	}
+	r := res[0]
+	switch {
+	case r.OK():
+		return r.Value, true, nil
+	case r.NotFound():
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("kvnet: get: %s", r.Value)
+	}
 }
 
 // Put routes a PUT to the owning shard.
 func (sc *ShardedClient) Put(key, value []byte) error {
-	return sc.shardFor(key).Put(key, value)
+	res, err := sc.shards[sc.shardIndex(key)].do([]kvdirect.Op{{Code: kvdirect.OpPut, Key: key, Value: value}})
+	if err != nil {
+		return err
+	}
+	if !res[0].OK() {
+		return fmt.Errorf("kvnet: put: %s", res[0].Value)
+	}
+	return nil
 }
 
 // Delete routes a DELETE to the owning shard.
 func (sc *ShardedClient) Delete(key []byte) (bool, error) {
-	return sc.shardFor(key).Delete(key)
+	res, err := sc.shards[sc.shardIndex(key)].do([]kvdirect.Op{{Code: kvdirect.OpDelete, Key: key}})
+	if err != nil {
+		return false, err
+	}
+	switch {
+	case res[0].OK():
+		return true, nil
+	case res[0].NotFound():
+		return false, nil
+	default:
+		return false, fmt.Errorf("kvnet: delete: %s", res[0].Value)
+	}
 }
 
 // FetchAdd routes an atomic fetch-and-add to the owning shard.
 func (sc *ShardedClient) FetchAdd(key []byte, delta uint64) (uint64, error) {
-	return sc.shardFor(key).FetchAdd(key, delta)
+	var param [8]byte
+	binary.LittleEndian.PutUint64(param[:], delta)
+	res, err := sc.shards[sc.shardIndex(key)].do([]kvdirect.Op{{
+		Code: kvdirect.OpUpdateScalar, Key: key,
+		FuncID: kvdirect.FnAdd, ElemWidth: 8, Param: param[:],
+	}})
+	if err != nil {
+		return 0, err
+	}
+	r := res[0]
+	if !r.OK() {
+		return 0, fmt.Errorf("kvnet: fetch-add: %s", r.Value)
+	}
+	var old uint64
+	if len(r.Value) == 8 {
+		old = binary.LittleEndian.Uint64(r.Value)
+	}
+	return old, nil
 }
 
 // Do splits a batch by owning shard, issues the per-shard sub-batches
@@ -91,18 +199,18 @@ func (sc *ShardedClient) FetchAdd(key []byte, delta uint64) (uint64, error) {
 // real multi-NIC deployment gives, since independent NICs do not
 // synchronize.
 func (sc *ShardedClient) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
-	groups := make(map[*Client][]int)
+	groups := make(map[int][]int)
 	for i, op := range ops {
-		c := sc.shardFor(op.Key)
-		groups[c] = append(groups[c], i)
+		s := sc.shardIndex(op.Key)
+		groups[s] = append(groups[s], i)
 	}
 	out := make([]kvdirect.Result, len(ops))
-	for c, idxs := range groups {
+	for s, idxs := range groups {
 		sub := make([]kvdirect.Op, len(idxs))
 		for j, i := range idxs {
 			sub[j] = ops[i]
 		}
-		res, err := c.Do(sub)
+		res, err := sc.shards[s].do(sub)
 		if err != nil {
 			return nil, err
 		}
@@ -112,3 +220,210 @@ func (sc *ShardedClient) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 	}
 	return out, nil
 }
+
+// --- per-shard replica set ---
+
+// replicaSet is one shard's view of its replica group: an ordered
+// address list (front = believed primary) and cached connections.
+type replicaSet struct {
+	opts     Options
+	counters *stats.Counters
+
+	mu      sync.Mutex
+	addrs   []string
+	clients map[string]*Client
+}
+
+func newReplicaSet(sh ShardAddrs, opts Options, counters *stats.Counters) *replicaSet {
+	addrs := append([]string{sh.Primary}, sh.Backups...)
+	return &replicaSet{
+		opts:     opts.withDefaults(),
+		counters: counters,
+		addrs:    addrs,
+		clients:  map[string]*Client{},
+	}
+}
+
+// client returns a connection to the current front address, dialing it
+// if needed; on dial failure the front is rotated so the next attempt
+// probes the next candidate.
+func (rs *replicaSet) client() (*Client, string, error) {
+	rs.mu.Lock()
+	addr := rs.addrs[0]
+	c := rs.clients[addr]
+	rs.mu.Unlock()
+	if c != nil {
+		return c, addr, nil
+	}
+	c, err := DialOptions(addr, rs.opts)
+	if err != nil {
+		rs.rotate(addr)
+		return nil, addr, err
+	}
+	rs.mu.Lock()
+	if prev := rs.clients[addr]; prev != nil {
+		// Another goroutine dialed concurrently; keep its connection.
+		rs.mu.Unlock()
+		_ = c.Close() // duplicate connection, deliberately discarded
+		return prev, addr, nil
+	}
+	rs.clients[addr] = c
+	rs.mu.Unlock()
+	return c, addr, nil
+}
+
+// rotate moves addr from the front to the back, if it is still at the
+// front (concurrent rotations for the same failure collapse to one).
+func (rs *replicaSet) rotate(addr string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.addrs) > 1 && rs.addrs[0] == addr {
+		rs.addrs = append(rs.addrs[1:], addr)
+		rs.counters.Add("sharded.rotations", 1)
+	}
+}
+
+// promote moves hint to the front of the address list, learning it if
+// the coordinator republished before we ever saw it.
+func (rs *replicaSet) promote(hint string) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if rs.addrs[0] == hint {
+		return
+	}
+	next := make([]string, 0, len(rs.addrs)+1)
+	next = append(next, hint)
+	for _, a := range rs.addrs {
+		if a != hint {
+			next = append(next, a)
+		}
+	}
+	rs.addrs = next
+	rs.counters.Add("sharded.redirects", 1)
+}
+
+// update applies a coordinator republish: new ordered address list,
+// dropping connections to members that left the group.
+func (rs *replicaSet) update(sh ShardAddrs) {
+	next := append([]string{sh.Primary}, sh.Backups...)
+	keep := map[string]bool{}
+	for _, a := range next {
+		keep[a] = true
+	}
+	rs.mu.Lock()
+	var closing []*Client
+	for a, c := range rs.clients {
+		if !keep[a] {
+			closing = append(closing, c)
+			delete(rs.clients, a)
+		}
+	}
+	rs.addrs = next
+	rs.mu.Unlock()
+	for _, c := range closing {
+		_ = c.Close() // member left the group; nothing to report
+	}
+}
+
+// do issues one batch against the shard's current primary, following
+// NotPrimary redirects and rotating across replicas on transport
+// failures until the batch lands or the failover budget is exhausted.
+func (rs *replicaSet) do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
+	// The budget covers one full tour of the group plus the retries a
+	// failover needs for the coordinator to detect and promote.
+	rs.mu.Lock()
+	budget := (len(rs.addrs) + 1) * (rs.opts.MaxRetries + 1)
+	rs.mu.Unlock()
+	if budget < 4 {
+		budget = 4
+	}
+	bo := NewBackoff(rs.opts.RetryBaseDelay, rs.opts.RetryMaxDelay, int64(len(ops))+1)
+	var lastErr error
+	for attempt := 0; attempt < budget; attempt++ {
+		if attempt > 0 {
+			bo.Sleep(attempt)
+		}
+		c, addr, err := rs.client()
+		if err != nil {
+			lastErr = err // dial failure: client() already rotated
+			continue
+		}
+		res, err := c.Do(ops)
+		if err != nil {
+			lastErr = err
+			if errors.Is(err, ErrClosed) {
+				// Connection was closed under us by a routing update;
+				// re-resolve and retry (nothing was applied... the close
+				// happened before the send).
+				rs.dropClient(addr, c)
+				continue
+			}
+			if !idempotentOps(ops) {
+				// Ambiguous failure of a non-idempotent batch: replaying
+				// it elsewhere could apply an update twice. Same contract
+				// as Client.Do.
+				return nil, err
+			}
+			rs.dropClient(addr, c)
+			rs.rotate(addr)
+			continue
+		}
+		if hint, rejected := notPrimaryHint(res); rejected {
+			// Unambiguous rejection: nothing was applied, safe to retry
+			// anywhere — follow the hint when the backup knows the
+			// primary, otherwise probe the next candidate.
+			lastErr = &NotPrimaryError{Hint: hint}
+			if hint != "" && hint != addr {
+				rs.promote(hint)
+			} else {
+				rs.rotate(addr)
+			}
+			continue
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("kvnet: shard unavailable after %d attempts: %w", budget, lastErr)
+}
+
+// dropClient forgets a broken cached connection so the next attempt
+// redials.
+func (rs *replicaSet) dropClient(addr string, c *Client) {
+	rs.mu.Lock()
+	if rs.clients[addr] == c {
+		delete(rs.clients, addr)
+	}
+	rs.mu.Unlock()
+	_ = c.Close() // already broken; nothing to report
+}
+
+func (rs *replicaSet) close() error {
+	rs.mu.Lock()
+	clients := make([]*Client, 0, len(rs.clients))
+	for _, c := range rs.clients {
+		clients = append(clients, c)
+	}
+	rs.clients = map[string]*Client{}
+	rs.mu.Unlock()
+	var first error
+	for _, c := range clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// notPrimaryHint reports whether the batch was rejected by a non-primary
+// replica, returning the redirect hint if any result carries one.
+func notPrimaryHint(res []kvdirect.Result) (string, bool) {
+	for _, r := range res {
+		if r.NotPrimary() {
+			return string(r.Value), true
+		}
+	}
+	return "", false
+}
+
+// idempotentOps mirrors the Client's retry rule for routing-layer
+// replays after ambiguous transport failures.
+func idempotentOps(ops []kvdirect.Op) bool { return idempotent(ops) }

@@ -1,0 +1,259 @@
+package kvrepl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"kvdirect/internal/stats"
+	"kvdirect/kvnet"
+)
+
+// CoordOptions tunes the lease-based failure detector.
+type CoordOptions struct {
+	// LeaseTimeout is how long a primary may go without a heartbeat
+	// before the coordinator elects a replacement (default 150 ms; keep
+	// it a small multiple of the replicas' HeartbeatEvery).
+	LeaseTimeout time.Duration
+	// CheckEvery is the lease-scan period (default LeaseTimeout/3).
+	CheckEvery time.Duration
+}
+
+func (o CoordOptions) withDefaults() CoordOptions {
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 150 * time.Millisecond
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = o.LeaseTimeout / 3
+	}
+	return o
+}
+
+// Coordinator is the in-process membership and lease service for a set
+// of replica groups — the control plane, deliberately off the data
+// path (TurboKV's split): it sees heartbeats and elects primaries but
+// never touches a key. When a primary's lease lapses it bumps the
+// group's epoch, promotes the most-up-to-date live backup (which, with
+// quorum acks and dense applied prefixes, is guaranteed to hold every
+// acknowledged write), and republishes routing through OnRoute.
+type Coordinator struct {
+	opts     CoordOptions
+	counters *stats.Counters
+
+	mu      sync.Mutex
+	groups  map[int]*groupState
+	onRoute func(shard int, addrs kvnet.ShardAddrs)
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+type groupState struct {
+	members  map[int]*Replica
+	primary  int
+	epoch    uint64
+	lastBeat time.Time
+}
+
+// NewCoordinator starts the lease monitor.
+func NewCoordinator(opts CoordOptions) *Coordinator {
+	c := &Coordinator{
+		opts:     opts.withDefaults(),
+		counters: stats.NewCounters(),
+		groups:   map[int]*groupState{},
+		stop:     make(chan struct{}),
+	}
+	c.wg.Add(1)
+	go c.monitor()
+	return c
+}
+
+// Counters exposes repl.failovers and repl.failovers_aborted.
+func (c *Coordinator) Counters() *stats.Counters { return c.counters }
+
+// OnRoute installs the routing-republish callback, invoked (without the
+// coordinator's lock) at registration and after every failover —
+// typically kvnet.ShardedClient.UpdateShard. Replaces any previous
+// callback and immediately replays current routes so a late subscriber
+// starts consistent.
+func (c *Coordinator) OnRoute(fn func(shard int, addrs kvnet.ShardAddrs)) {
+	c.mu.Lock()
+	c.onRoute = fn
+	type route struct {
+		shard int
+		addrs kvnet.ShardAddrs
+	}
+	var routes []route
+	for shard, g := range c.groups {
+		routes = append(routes, route{shard, routeLocked(g)})
+	}
+	c.mu.Unlock()
+	if fn != nil {
+		for _, rt := range routes {
+			fn(rt.shard, rt.addrs)
+		}
+	}
+}
+
+// Register adds a replica group under shard, promotes members[primary]
+// for epoch 1 and publishes the initial route. Every member must have
+// been built with NewReplica.
+func (c *Coordinator) Register(shard int, members map[int]*Replica, primary int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: coordinator closed")
+	}
+	if _, dup := c.groups[shard]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d already registered", shard)
+	}
+	if _, ok := members[primary]; !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d: primary %d is not a member", shard, primary)
+	}
+	g := &groupState{
+		members:  members,
+		primary:  primary,
+		epoch:    1,
+		lastBeat: time.Now(),
+	}
+	c.groups[shard] = g
+	for id, m := range members {
+		id := id
+		m.setBeat(func(shard, _ int) { c.heartbeat(shard, id) })
+	}
+	lead := members[primary]
+	peers := peerAddrsLocked(g)
+	fn := c.onRoute
+	addrs := routeLocked(g)
+	c.mu.Unlock()
+
+	lead.promote(1, peers)
+	if fn != nil {
+		fn(shard, addrs)
+	}
+	return nil
+}
+
+// heartbeat renews the primary's lease; beats from deposed members are
+// ignored, so a partitioned old primary cannot keep the lease alive.
+func (c *Coordinator) heartbeat(shard, id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.groups[shard]; ok && g.primary == id {
+		g.lastBeat = time.Now()
+	}
+}
+
+// monitor scans leases and fails over expired ones.
+func (c *Coordinator) monitor() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.opts.CheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.checkLeases()
+		}
+	}
+}
+
+func (c *Coordinator) checkLeases() {
+	type promotion struct {
+		shard int
+		cand  *Replica
+		epoch uint64
+		peers map[int]string
+		addrs kvnet.ShardAddrs
+	}
+	var promos []promotion
+	c.mu.Lock()
+	now := time.Now()
+	for shard, g := range c.groups {
+		if now.Sub(g.lastBeat) <= c.opts.LeaseTimeout {
+			continue
+		}
+		// Lease expired: elect the live backup with the highest applied
+		// frontier (ties to the lowest id, for determinism).
+		candID, cand := -1, (*Replica)(nil)
+		var candSeq uint64
+		for id, m := range g.members {
+			if id == g.primary || !m.Alive() {
+				continue
+			}
+			seq := m.LastApplied()
+			if cand == nil || seq > candSeq || (seq == candSeq && id < candID) {
+				candID, cand, candSeq = id, m, seq
+			}
+		}
+		if cand == nil {
+			// Nothing to promote; re-arm the lease and keep watching (the
+			// old primary may come back, or a replica may be revived).
+			c.counters.Add("repl.failovers_aborted", 1)
+			g.lastBeat = now
+			continue
+		}
+		g.epoch++
+		g.primary = candID
+		g.lastBeat = now // fresh lease for the new primary
+		c.counters.Add("repl.failovers", 1)
+		promos = append(promos, promotion{
+			shard: shard,
+			cand:  cand,
+			epoch: g.epoch,
+			peers: peerAddrsLocked(g),
+			addrs: routeLocked(g),
+		})
+	}
+	fn := c.onRoute
+	c.mu.Unlock()
+
+	// Promote outside the lock: promotion takes the replica's lock and
+	// spins up shipping loops; nothing here needs coordinator state.
+	for _, p := range promos {
+		p.cand.promote(p.epoch, p.peers)
+		if fn != nil {
+			fn(p.shard, p.addrs)
+		}
+	}
+}
+
+// Close stops the monitor. Replicas are not closed — they belong to
+// their groups.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// peerAddrsLocked maps every member id to its replication address (the
+// promoted replica skips itself).
+func peerAddrsLocked(g *groupState) map[int]string {
+	out := make(map[int]string, len(g.members))
+	for id, m := range g.members {
+		out[id] = m.ReplAddr()
+	}
+	return out
+}
+
+// routeLocked builds the client routing entry: primary first, then the
+// other live members as fallbacks.
+func routeLocked(g *groupState) kvnet.ShardAddrs {
+	addrs := kvnet.ShardAddrs{Primary: g.members[g.primary].ClientAddr()}
+	for id, m := range g.members {
+		if id != g.primary && m.Alive() {
+			addrs.Backups = append(addrs.Backups, m.ClientAddr())
+		}
+	}
+	return addrs
+}

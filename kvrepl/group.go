@@ -1,0 +1,87 @@
+package kvrepl
+
+import (
+	"fmt"
+
+	"kvdirect"
+	"kvdirect/kvnet"
+)
+
+// Group is one shard's replica set, built by StartGroup.
+type Group struct {
+	Shard    int
+	Replicas []*Replica
+}
+
+// StartGroup builds n replicas for shard on loopback, registers them
+// with coord (replica 0 is the first primary) and returns the group.
+// Each replica gets a distinct store seed, like Cluster shards do.
+func StartGroup(coord *Coordinator, shard, n int, cfg kvdirect.Config, opts Options) (*Group, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("kvrepl: group needs at least one replica, got %d", n)
+	}
+	g := &Group{Shard: shard, Replicas: make([]*Replica, 0, n)}
+	for i := 0; i < n; i++ {
+		rcfg := cfg
+		rcfg.Seed = cfg.Seed + uint64(i)*0x9E3779B97F4A7C15
+		r, err := NewReplica(shard, i, n, rcfg, "127.0.0.1:0", "127.0.0.1:0", opts)
+		if err != nil {
+			_ = g.Close() // already failing; the construction error wins
+			return nil, fmt.Errorf("kvrepl: shard %d replica %d: %w", shard, i, err)
+		}
+		g.Replicas = append(g.Replicas, r)
+	}
+	members := make(map[int]*Replica, n)
+	for i, r := range g.Replicas {
+		members[i] = r
+	}
+	if err := coord.Register(shard, members, 0); err != nil {
+		_ = g.Close() // already failing; the registration error wins
+		return nil, err
+	}
+	return g, nil
+}
+
+// Primary returns the current primary, or nil during an election gap.
+func (g *Group) Primary() *Replica {
+	for _, r := range g.Replicas {
+		if r.Alive() && r.Role() == RolePrimary {
+			return r
+		}
+	}
+	return nil
+}
+
+// ShardAddrs returns the routing entry for a kvnet.ShardedClient:
+// believed primary first, live backups after.
+func (g *Group) ShardAddrs() kvnet.ShardAddrs {
+	var out kvnet.ShardAddrs
+	for _, r := range g.Replicas {
+		if !r.Alive() {
+			continue
+		}
+		if r.Role() == RolePrimary && out.Primary == "" {
+			out.Primary = r.ClientAddr()
+		} else {
+			out.Backups = append(out.Backups, r.ClientAddr())
+		}
+	}
+	if out.Primary == "" && len(out.Backups) > 0 {
+		out.Primary, out.Backups = out.Backups[0], out.Backups[1:]
+	}
+	return out
+}
+
+// Close shuts every replica down (idempotent; dead replicas are fine).
+func (g *Group) Close() error {
+	var first error
+	for _, r := range g.Replicas {
+		if r == nil {
+			continue
+		}
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,569 @@
+package kvrepl
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"kvdirect"
+	"kvdirect/internal/fault"
+	"kvdirect/internal/repllog"
+	"kvdirect/internal/wire"
+	"kvdirect/kvnet"
+)
+
+// stallBackup is how long a ReplStallBackup fault delays one apply —
+// long enough to open replication lag, short enough for chaos runs.
+const stallBackup = 2 * time.Millisecond
+
+// --- primary side: one shipping loop per backup ---
+
+// peerSync is the primary's replication stream to one backup: dial,
+// handshake, then a ping-pong of Append/Ack (replay) with snapshot
+// catch-up whenever the backup has fallen out of the log window. The
+// loop belongs to one epoch; promotions and demotions stop it and start
+// fresh loops.
+type peerSync struct {
+	r      *Replica
+	peerID int
+	addr   string
+	epoch  uint64
+
+	stop chan struct{}
+	wake chan struct{} // buffered 1: "the log grew"
+
+	mu   sync.Mutex
+	conn net.Conn
+	done bool
+}
+
+func newPeerSync(r *Replica, peerID int, addr string, epoch uint64) *peerSync {
+	return &peerSync{
+		r:      r,
+		peerID: peerID,
+		addr:   addr,
+		epoch:  epoch,
+		stop:   make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+	}
+}
+
+// notify nudges an idle loop that new log entries are ready.
+func (p *peerSync) notify() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// stopPeer ends the loop and unblocks any in-flight network call.
+func (p *peerSync) stopPeer() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return
+	}
+	p.done = true
+	close(p.stop)
+	if p.conn != nil {
+		_ = p.conn.Close() // unblocks reads; the loop is exiting anyway
+	}
+}
+
+func (p *peerSync) stopped() bool {
+	select {
+	case <-p.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *peerSync) setConn(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.done {
+		return false
+	}
+	p.conn = c
+	return true
+}
+
+// run redials the backup forever (with jittered backoff) until stopped.
+func (p *peerSync) run() {
+	defer p.r.wg.Done()
+	bo := kvnet.NewBackoff(2*time.Millisecond, 250*time.Millisecond,
+		p.r.opts.Seed^int64(p.peerID+1))
+	attempt := 0
+	for {
+		if p.stopped() {
+			return
+		}
+		progressed := p.syncOnce()
+		if p.stopped() {
+			return
+		}
+		if progressed {
+			attempt = 0
+		}
+		attempt++
+		bo.Sleep(attempt)
+	}
+}
+
+// syncOnce runs one connection's lifetime; it reports whether any
+// message round-tripped (to reset the redial backoff).
+func (p *peerSync) syncOnce() (progressed bool) {
+	conn, err := net.DialTimeout("tcp", p.addr, p.r.opts.StreamTimeout)
+	if err != nil {
+		return false
+	}
+	defer func() { _ = conn.Close() }()
+	if !p.setConn(conn) {
+		return false
+	}
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	// Handshake: announce our epoch and client address; learn the
+	// backup's applied frontier.
+	err = p.send(conn, bw, wire.ReplMessage{
+		Kind:    wire.ReplHello,
+		Epoch:   p.epoch,
+		Seq:     p.r.LastApplied(),
+		Payload: []byte(p.r.clientAddr),
+	})
+	if err != nil {
+		return false
+	}
+	m, err := p.recv(conn, br)
+	if err != nil || p.checkReply(m) != nil || m.Kind != wire.ReplHello {
+		return false
+	}
+	sent := m.Seq
+	if sent > p.r.LastApplied() {
+		// A backup ahead of its primary means fencing failed upstream;
+		// do not ship over it.
+		return true
+	}
+
+	for {
+		if p.stopped() {
+			return true
+		}
+		entries, err := p.r.log.Since(sent)
+		if errors.Is(err, repllog.ErrTruncated) {
+			snapSeq, serr := p.sendSnapshot(conn, bw, br)
+			if serr != nil {
+				return true
+			}
+			sent = snapSeq
+			continue
+		}
+		if err != nil {
+			return true
+		}
+		if len(entries) == 0 {
+			if !p.idle(conn, bw, br, sent) {
+				return true
+			}
+			continue
+		}
+		for _, e := range entries {
+			if p.stopped() {
+				return true
+			}
+			if p.r.faults.Should(fault.ReplDropEntry) {
+				// Skip the entry but advance the cursor: the next Append
+				// (or idle heartbeat) presents a gap, the backup closes
+				// the stream, and the redial resyncs from its true
+				// frontier — transient loss, recovered, never acked over.
+				p.r.counters.Add("repl.entries_dropped", 1)
+				sent = e.Seq
+				continue
+			}
+			err = p.send(conn, bw, wire.ReplMessage{
+				Kind:    wire.ReplAppend,
+				Epoch:   p.epoch,
+				Seq:     e.Seq,
+				Payload: e.Packet,
+			})
+			if err != nil {
+				return true
+			}
+			ack, rerr := p.recv(conn, br)
+			if rerr != nil || p.handleAck(ack) != nil {
+				return true
+			}
+			sent = e.Seq
+			p.r.counters.Add("repl.entries_shipped", 1)
+		}
+	}
+}
+
+// idle keeps a quiet stream warm: wait for new entries, a stop, or a
+// heartbeat tick (which doubles as the gap detector when the last
+// entries before the pause were fault-dropped). Returns false to tear
+// the connection down.
+func (p *peerSync) idle(conn net.Conn, bw *bufio.Writer, br *bufio.Reader, sent uint64) bool {
+	t := time.NewTimer(p.r.opts.HeartbeatEvery)
+	defer t.Stop()
+	select {
+	case <-p.stop:
+		return false
+	case <-p.wake:
+		return true
+	case <-t.C:
+	}
+	// Heartbeat carries the stream cursor, not the primary's frontier:
+	// entries appended after Since returned empty will be shipped next
+	// iteration and must not read as a gap.
+	err := p.send(conn, bw, wire.ReplMessage{
+		Kind: wire.ReplHeartbeat, Epoch: p.epoch, Seq: sent,
+	})
+	if err != nil {
+		return false
+	}
+	ack, err := p.recv(conn, br)
+	return err == nil && p.handleAck(ack) == nil
+}
+
+// sendSnapshot transfers a consistent Dump so a backup beyond the log
+// window can rejoin; replay resumes from the returned sequence.
+func (p *peerSync) sendSnapshot(conn net.Conn, bw *bufio.Writer, br *bufio.Reader) (uint64, error) {
+	p.r.mu.Lock()
+	var buf bytes.Buffer
+	_, derr := p.r.store.Dump(&buf)
+	snapSeq := p.r.lastApplied
+	p.r.mu.Unlock()
+	if derr != nil {
+		return 0, derr
+	}
+	err := p.send(conn, bw, wire.ReplMessage{
+		Kind: wire.ReplSnapshotBegin, Epoch: p.epoch, Seq: snapSeq,
+	})
+	if err != nil {
+		return 0, err
+	}
+	data := buf.Bytes()
+	for off := 0; off < len(data); off += p.r.opts.SnapshotChunk {
+		end := off + p.r.opts.SnapshotChunk
+		if end > len(data) {
+			end = len(data)
+		}
+		err = p.send(conn, bw, wire.ReplMessage{
+			Kind: wire.ReplSnapshotChunk, Epoch: p.epoch, Seq: snapSeq,
+			Payload: data[off:end],
+		})
+		if err != nil {
+			return 0, err
+		}
+	}
+	err = p.send(conn, bw, wire.ReplMessage{
+		Kind: wire.ReplSnapshotEnd, Epoch: p.epoch, Seq: snapSeq,
+	})
+	if err != nil {
+		return 0, err
+	}
+	ack, err := p.recv(conn, br)
+	if err != nil {
+		return 0, err
+	}
+	if aerr := p.handleAck(ack); aerr != nil {
+		return 0, aerr
+	}
+	p.r.counters.Add("repl.snapshots_sent", 1)
+	p.r.counters.Add("repl.catchup_bytes", uint64(len(data)))
+	return snapSeq, nil
+}
+
+// handleAck folds the backup's reply into quorum state; a rejection
+// with a higher epoch means we have been deposed.
+func (p *peerSync) handleAck(m wire.ReplMessage) error {
+	if err := p.checkReply(m); err != nil {
+		return err
+	}
+	if m.Kind != wire.ReplAck {
+		return fmt.Errorf("kvrepl: unexpected %s from peer %d", m.Kind, p.peerID)
+	}
+	p.r.recordAck(p.epoch, p.peerID, m.Seq)
+	return nil
+}
+
+// checkReply handles fencing rejections common to every reply.
+func (p *peerSync) checkReply(m wire.ReplMessage) error {
+	if m.Kind != wire.ReplReject {
+		return nil
+	}
+	if m.Epoch > p.epoch {
+		p.r.maybeDemote(m.Epoch, "")
+	}
+	return fmt.Errorf("kvrepl: peer %d rejected stream: %s", p.peerID, m.Payload)
+}
+
+func (p *peerSync) send(conn net.Conn, bw *bufio.Writer, m wire.ReplMessage) error {
+	pkt, err := wire.AppendReplMessage(nil, m)
+	if err != nil {
+		return err
+	}
+	if err := conn.SetWriteDeadline(time.Now().Add(p.r.opts.StreamTimeout)); err != nil {
+		return err
+	}
+	if err := kvnet.WriteFrame(bw, pkt); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func (p *peerSync) recv(conn net.Conn, br *bufio.Reader) (wire.ReplMessage, error) {
+	if err := conn.SetReadDeadline(time.Now().Add(p.r.opts.StreamTimeout)); err != nil {
+		return wire.ReplMessage{}, err
+	}
+	pkt, err := kvnet.ReadFrame(br)
+	if err != nil {
+		return wire.ReplMessage{}, err
+	}
+	return wire.DecodeReplMessage(pkt)
+}
+
+// --- backup side: accept the primary's stream and apply it ---
+
+// acceptRepl owns the replication listener for the replica's lifetime.
+func (r *Replica) acceptRepl() {
+	defer r.wg.Done()
+	for {
+		conn, err := r.replLn.Accept()
+		if err != nil {
+			return
+		}
+		r.mu.Lock()
+		if r.closed {
+			r.mu.Unlock()
+			_ = conn.Close() // dying; refuse the stream
+			continue
+		}
+		r.conns[conn] = true
+		r.mu.Unlock()
+		r.wg.Add(1)
+		go r.handleReplConn(conn)
+	}
+}
+
+// handleReplConn serves one inbound replication stream. The handshake
+// enforces epoch fencing (this is also how a deposed primary learns of
+// its demotion: the new primary's higher-epoch Hello arrives here); the
+// message loop applies entries in strict sequence, acks the applied
+// frontier, and closes the stream on any gap so the primary resyncs.
+func (r *Replica) handleReplConn(conn net.Conn) {
+	defer r.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		r.mu.Lock()
+		delete(r.conns, conn)
+		r.mu.Unlock()
+	}()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	recv := func() (wire.ReplMessage, error) {
+		if err := conn.SetReadDeadline(time.Now().Add(r.opts.StreamTimeout)); err != nil {
+			return wire.ReplMessage{}, err
+		}
+		pkt, err := kvnet.ReadFrame(br)
+		if err != nil {
+			return wire.ReplMessage{}, err
+		}
+		return wire.DecodeReplMessage(pkt)
+	}
+	send := func(m wire.ReplMessage) error {
+		pkt, err := wire.AppendReplMessage(nil, m)
+		if err != nil {
+			return err
+		}
+		if err := conn.SetWriteDeadline(time.Now().Add(r.opts.StreamTimeout)); err != nil {
+			return err
+		}
+		if err := kvnet.WriteFrame(bw, pkt); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+
+	hello, err := recv()
+	if err != nil || hello.Kind != wire.ReplHello {
+		return
+	}
+	last, herr := r.admitStream(hello)
+	if herr != nil {
+		r.counters.Add("repl.epoch_rejects", 1)
+		_ = send(wire.ReplMessage{
+			Kind: wire.ReplReject, Epoch: r.Epoch(), Payload: []byte(herr.Error()),
+		})
+		return
+	}
+	if err := send(wire.ReplMessage{Kind: wire.ReplHello, Epoch: hello.Epoch, Seq: last}); err != nil {
+		return
+	}
+
+	var snapBuf *bytes.Buffer
+	var snapSeq uint64
+	for {
+		m, err := recv()
+		if err != nil {
+			return
+		}
+		if cur := r.Epoch(); m.Epoch < cur {
+			// A newer primary contacted us mid-stream; fence the old one.
+			r.counters.Add("repl.epoch_rejects", 1)
+			_ = send(wire.ReplMessage{
+				Kind: wire.ReplReject, Epoch: cur, Payload: []byte("stale epoch"),
+			})
+			return
+		}
+		switch m.Kind {
+		case wire.ReplAppend:
+			if r.faults.Should(fault.ReplStallBackup) {
+				time.Sleep(stallBackup)
+			}
+			ackSeq, gap := r.applyEntry(m)
+			if gap {
+				r.counters.Add("repl.gap_resyncs", 1)
+				return
+			}
+			if err := send(wire.ReplMessage{Kind: wire.ReplAck, Epoch: m.Epoch, Seq: ackSeq}); err != nil {
+				return
+			}
+		case wire.ReplHeartbeat:
+			r.mu.Lock()
+			behind := m.Seq > r.lastApplied
+			ackSeq := r.lastApplied
+			r.gauges.Set("repl.lag", m.Seq-min64(m.Seq, ackSeq))
+			r.mu.Unlock()
+			if behind {
+				// The cursor passed entries we never saw (drop fault at
+				// the stream tail); force a resync.
+				r.counters.Add("repl.gap_resyncs", 1)
+				return
+			}
+			if err := send(wire.ReplMessage{Kind: wire.ReplAck, Epoch: m.Epoch, Seq: ackSeq}); err != nil {
+				return
+			}
+		case wire.ReplSnapshotBegin:
+			snapBuf = &bytes.Buffer{}
+			snapSeq = m.Seq
+		case wire.ReplSnapshotChunk:
+			if snapBuf == nil {
+				return
+			}
+			_, _ = snapBuf.Write(m.Payload) // bytes.Buffer.Write cannot fail
+		case wire.ReplSnapshotEnd:
+			if snapBuf == nil || m.Seq != snapSeq {
+				return
+			}
+			if err := r.installSnapshot(snapBuf, snapSeq); err != nil {
+				_ = send(wire.ReplMessage{
+					Kind: wire.ReplReject, Epoch: m.Epoch, Payload: []byte(err.Error()),
+				})
+				return
+			}
+			if err := send(wire.ReplMessage{Kind: wire.ReplAck, Epoch: m.Epoch, Seq: snapSeq}); err != nil {
+				return
+			}
+			snapBuf = nil
+		default:
+			return
+		}
+	}
+}
+
+// admitStream vets a Hello against the fencing rules and adopts the
+// sender as primary, demoting ourselves if we currently lead. Returns
+// our applied frontier for the handshake reply.
+func (r *Replica) admitStream(hello wire.ReplMessage) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	switch {
+	case r.closed:
+		return 0, errors.New("replica closed")
+	case hello.Epoch < r.epoch:
+		return 0, fmt.Errorf("stale epoch %d < %d", hello.Epoch, r.epoch)
+	case hello.Epoch == r.epoch && r.role == RolePrimary:
+		return 0, fmt.Errorf("split brain: two primaries at epoch %d", r.epoch)
+	}
+	if hello.Epoch > r.epoch {
+		r.demoteLocked(hello.Epoch, string(hello.Payload))
+	} else if len(hello.Payload) > 0 {
+		r.primaryHint = string(hello.Payload)
+	}
+	return r.lastApplied, nil
+}
+
+// applyEntry applies one shipped entry under the dense-prefix rule:
+// duplicates re-ack, the next sequence applies, anything else is a gap
+// that tears the stream down for a resync (never skip — density is what
+// makes "most advanced backup" equal "has every acked write").
+func (r *Replica) applyEntry(m wire.ReplMessage) (ack uint64, gap bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return r.lastApplied, true
+	}
+	if m.Seq <= r.lastApplied {
+		return r.lastApplied, false
+	}
+	if m.Seq != r.lastApplied+1 {
+		return r.lastApplied, true
+	}
+	e := repllog.Entry{
+		Seq:    m.Seq,
+		Epoch:  m.Epoch,
+		Packet: append([]byte(nil), m.Payload...),
+	}
+	req, err := e.Request()
+	if err != nil {
+		return r.lastApplied, true
+	}
+	if err := r.log.Append(e); err != nil {
+		return r.lastApplied, true
+	}
+	// Apply after logging; a panic still advances the frontier (the
+	// primary assigned the sequence and got the same panic response).
+	resp := r.applyLocalLocked(req)
+	_ = resp
+	r.lastApplied = m.Seq
+	r.counters.Add("repl.entries_applied", 1)
+	return m.Seq, false
+}
+
+// installSnapshot replaces the replica's store with the primary's dump
+// and rebases the log so replay resumes from snapSeq+1.
+func (r *Replica) installSnapshot(buf *bytes.Buffer, snapSeq uint64) error {
+	fresh, err := kvdirect.New(r.cfg)
+	if err != nil {
+		return err
+	}
+	if _, err := fresh.Load(bytes.NewReader(buf.Bytes())); err != nil {
+		fresh.Close()
+		return err
+	}
+	r.mu.Lock()
+	old := r.store
+	r.store = fresh
+	r.lastApplied = snapSeq
+	r.log.Reset(snapSeq)
+	r.mu.Unlock()
+	old.Close()
+	r.counters.Add("repl.snapshots_installed", 1)
+	r.counters.Add("repl.catchup_bytes", uint64(buf.Len()))
+	return nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,152 @@
+package kvdirect
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestNewClusterClosesStoresOnError is the regression test for the
+// constructor leak: a mid-loop failure used to abandon the stores
+// already built without closing them.
+func TestNewClusterClosesStoresOnError(t *testing.T) {
+	orig := newClusterStore
+	defer func() { newClusterStore = orig }()
+	var built []*Store
+	calls := 0
+	newClusterStore = func(cfg Config) (*Store, error) {
+		calls++
+		if calls == 3 {
+			return nil, fmt.Errorf("injected construction failure")
+		}
+		s, err := New(cfg)
+		if err == nil {
+			built = append(built, s)
+		}
+		return s, err
+	}
+	if _, err := NewCluster(4, Config{MemoryBytes: 4 << 20}); err == nil {
+		t.Fatal("NewCluster succeeded despite injected failure")
+	}
+	if len(built) != 2 {
+		t.Fatalf("expected 2 stores built before the failure, got %d", len(built))
+	}
+	for i, s := range built {
+		if !s.Closed() {
+			t.Errorf("store %d leaked: not closed after constructor error", i)
+		}
+	}
+}
+
+// Same leak contract for the replicated constructor.
+func TestNewReplicatedClusterClosesStoresOnError(t *testing.T) {
+	orig := newClusterStore
+	defer func() { newClusterStore = orig }()
+	var built []*Store
+	calls := 0
+	newClusterStore = func(cfg Config) (*Store, error) {
+		calls++
+		if calls == 5 {
+			return nil, fmt.Errorf("injected construction failure")
+		}
+		s, err := New(cfg)
+		if err == nil {
+			built = append(built, s)
+		}
+		return s, err
+	}
+	if _, err := NewReplicatedCluster(2, 3, Config{MemoryBytes: 4 << 20}); err == nil {
+		t.Fatal("NewReplicatedCluster succeeded despite injected failure")
+	}
+	if len(built) != 4 {
+		t.Fatalf("expected 4 stores built before the failure, got %d", len(built))
+	}
+	for i, s := range built {
+		if !s.Closed() {
+			t.Errorf("store %d leaked: not closed after constructor error", i)
+		}
+	}
+}
+
+func TestReplicatedClusterLockstep(t *testing.T) {
+	rc, err := NewReplicatedCluster(2, 3, Config{MemoryBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const n = 200
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("key-%04d", i))
+		if err := rc.Put(k, []byte(fmt.Sprintf("val-%04d", i))); err != nil {
+			t.Fatalf("put %s: %v", k, err)
+		}
+	}
+	if got := rc.NumKeys(); got != n {
+		t.Fatalf("NumKeys = %d, want %d", got, n)
+	}
+	// Every replica of every shard holds exactly its shard's keys.
+	for si, g := range rc.groups {
+		want := g.replicas[g.primary].NumKeys()
+		for ri, s := range g.replicas {
+			if got := s.NumKeys(); got != want {
+				t.Fatalf("shard %d replica %d: %d keys, primary has %d", si, ri, got, want)
+			}
+		}
+	}
+
+	if _, err := rc.Update([]byte("ctr"), FnAdd, 8, 5); err != nil {
+		t.Fatal(err)
+	}
+	old, err := rc.Update([]byte("ctr"), FnAdd, 8, 2)
+	if err != nil || old != 5 {
+		t.Fatalf("fetch-add old = %d, %v, want 5", old, err)
+	}
+
+	ok, err := rc.Delete([]byte("key-0000"))
+	if err != nil || !ok {
+		t.Fatalf("delete: %v, existed=%v", err, ok)
+	}
+	if _, found, _ := rc.Get([]byte("key-0000")); found {
+		t.Fatal("deleted key still readable")
+	}
+}
+
+func TestReplicatedClusterFailover(t *testing.T) {
+	rc, err := NewReplicatedCluster(1, 3, Config{MemoryBytes: 4 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		k := []byte(fmt.Sprintf("fo-%04d", i))
+		if err := rc.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lose the primary twice; every acked write must survive both
+	// promotions, and writes keep landing on the survivors.
+	for round := 0; round < 2; round++ {
+		if _, err := rc.FailPrimary(0); err != nil {
+			t.Fatalf("failover round %d: %v", round, err)
+		}
+		for i := 0; i < n; i++ {
+			k := []byte(fmt.Sprintf("fo-%04d", i))
+			if _, found, err := rc.Get(k); err != nil || !found {
+				t.Fatalf("round %d: key %s lost (%v)", round, k, err)
+			}
+		}
+		k := []byte(fmt.Sprintf("post-%d", round))
+		if err := rc.Put(k, []byte("v")); err != nil {
+			t.Fatalf("round %d post-failover put: %v", round, err)
+		}
+	}
+	// Third failure exhausts the group.
+	if _, err := rc.FailPrimary(0); err == nil {
+		t.Fatal("expected error when the last replica dies")
+	}
+	if err := rc.Put([]byte("late"), []byte("v")); err == nil {
+		t.Fatal("write succeeded against an exhausted replica group")
+	}
+}
