@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-fix test race chaos bench check clean
+.PHONY: build vet lint lint-fix test race chaos bench telemetry check clean
 
 build:
 	$(GO) build ./...
@@ -34,6 +34,13 @@ chaos:
 
 bench:
 	$(GO) test -bench=BenchmarkStorePutGet -benchmem -count=5 -run '^$$' ./internal/core/
+
+# Telemetry smoke: the unit suite plus the overhead guard — the
+# disabled-sampling hot path must stay at 0 allocs/op (see DESIGN.md
+# "Observability").
+telemetry:
+	$(GO) test ./internal/telemetry/
+	$(GO) test -bench=BenchmarkTelemetryOff -benchmem -run '^$$' ./internal/telemetry/
 
 # What CI runs.
 check: vet lint

@@ -13,7 +13,9 @@
 //	incr <key> [delta]        atomic fetch-and-add on an 8-byte counter
 //	reduce <key> <add|max>    fold a 4-byte-element vector on the server
 //	register <id> <expr>      compile and install an update λ on the server
-//	stats                     dump the server's counters
+//	stats [-watch] [-raw]     telemetry table (-watch refreshes each
+//	                          second with live ops/s; -raw dumps the
+//	                          legacy key=value counter text)
 //	bench <n>                 time n pipelined PUT+GET pairs
 package main
 
@@ -149,11 +151,26 @@ func run(c *kvnet.Client, args []string) error {
 		fmt.Println("OK")
 
 	case "stats":
-		text, err := c.Stats()
-		if err != nil {
-			return err
+		watch, raw := false, false
+		for _, a := range args[1:] {
+			switch a {
+			case "-watch":
+				watch = true
+			case "-raw":
+				raw = true
+			default:
+				return fmt.Errorf("usage: stats [-watch] [-raw]")
+			}
 		}
-		fmt.Print(text)
+		if raw {
+			text, err := c.Stats()
+			if err != nil {
+				return err
+			}
+			fmt.Print(text)
+			return nil
+		}
+		return statsTable(c, watch)
 
 	case "bench":
 		if len(args) != 2 {

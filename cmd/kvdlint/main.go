@@ -2,8 +2,8 @@
 // static-analysis suite. It mechanically enforces the invariants the
 // compiler cannot see and the simulation's credibility depends on:
 // counted memory access, wall-clock-free model code, registry-valid
-// fault-point names, consistent atomic counter access, and no dropped
-// status/error results.
+// fault-point names, consistent atomic counter access, no dropped
+// status/error results, and layer.noun[_unit] metric names.
 //
 // Usage:
 //
@@ -28,6 +28,7 @@ import (
 	"kvdirect/internal/analysis"
 	"kvdirect/internal/analysis/atomiccounter"
 	"kvdirect/internal/analysis/faultpoint"
+	"kvdirect/internal/analysis/metricname"
 	"kvdirect/internal/analysis/statuserr"
 	"kvdirect/internal/analysis/unaccountedaccess"
 	"kvdirect/internal/analysis/walltime"
@@ -37,6 +38,7 @@ import (
 var Analyzers = []*analysis.Analyzer{
 	atomiccounter.Analyzer,
 	faultpoint.Analyzer,
+	metricname.Analyzer,
 	statuserr.Analyzer,
 	unaccountedaccess.Analyzer,
 	walltime.Analyzer,

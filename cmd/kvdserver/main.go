@@ -5,12 +5,17 @@
 //
 //	kvdserver [-addr host:port] [-mem bytes] [-index-ratio r]
 //	          [-inline n] [-dispatch r] [-no-cache] [-no-ooo]
-//	          [-shards n]
+//	          [-shards n] [-metrics host:port] [-trace-sample n]
 //
 // With -shards n it runs n independent stores behind n listeners on
 // consecutive ports — the paper's multi-NIC server (pair it with
 // kvnet.DialShards). The process logs its listen addresses and serves
 // until interrupted.
+//
+// With -metrics it additionally serves the merged telemetry of all
+// shards over HTTP: Prometheus text on /metrics, the full snapshot
+// (including sampled spans) as JSON on /debug/telemetry. -trace-sample n
+// server-samples one batch in n into the trace ring (0 disables).
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
@@ -35,6 +41,8 @@ func main() {
 	noCache := flag.Bool("no-cache", false, "disable the NIC DRAM cache")
 	noOoO := flag.Bool("no-ooo", false, "disable out-of-order execution")
 	shards := flag.Int("shards", 1, "number of NIC shards (one listener each, like the 10-NIC server)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address (empty disables)")
+	traceSample := flag.Uint64("trace-sample", 0, "server-sample one batch in N for the trace ring (0 disables)")
 	flag.Parse()
 
 	cfg := kvdirect.Config{
@@ -64,13 +72,27 @@ func main() {
 	servers := make([]*kvnet.Server, *shards)
 	for i := range servers {
 		shardAddr := net.JoinHostPort(host, strconv.Itoa(basePort+i))
-		srv, err := kvnet.Serve(cluster.ShardAt(i), shardAddr)
+		srv, err := kvnet.ServeOptions(cluster.ShardAt(i), shardAddr,
+			kvnet.ServerOptions{TraceSampleEvery: *traceSample})
 		if err != nil {
 			log.Fatalf("kvdserver: shard %d: %v", i, err)
 		}
 		servers[i] = srv
 		log.Printf("kvdserver: shard %d/%d serving %d MiB on %s",
 			i+1, *shards, *mem>>20, srv.Addr())
+	}
+
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("kvdserver: metrics listener: %v", err)
+		}
+		log.Printf("kvdserver: telemetry on http://%s/metrics", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, kvnet.NewTelemetryHandler(servers...)); err != nil {
+				log.Printf("kvdserver: metrics server: %v", err)
+			}
+		}()
 	}
 
 	sig := make(chan os.Signal, 1)

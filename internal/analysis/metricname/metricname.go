@@ -1,0 +1,94 @@
+// Package metricname enforces the repository's metric naming
+// convention on literal metric names.
+//
+// Every counter, gauge and histogram name follows `layer.noun[_unit]`:
+// a layer prefix naming the subsystem that owns the metric (server,
+// client, core, pcie, dram, dispatch, ecc, fault, repl, test), one dot,
+// and a lowercase snake_case noun with an optional trailing unit
+// (`_ns`, `_bytes`). One flat namespace spans the whole stack — a
+// replica's registry mixes repl.lag with server.ops and dram.hits — so
+// a name that free-rides outside the convention either collides with a
+// neighbour or becomes unfindable on a dashboard. The analyzer checks
+// every string literal passed as the name argument to the stats and
+// telemetry registries; names built at runtime are out of scope.
+package metricname
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strconv"
+
+	"kvdirect/internal/analysis"
+)
+
+// nameRe is `layer.noun[_unit]`: lowercase snake_case segments joined
+// by exactly one dot.
+var nameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)*\.[a-z][a-z0-9]*(_[a-z0-9]+)*$`)
+
+// registryTypes are the receiver types whose string-typed first
+// argument names a metric.
+var registryTypes = map[string]bool{
+	"kvdirect/internal/stats.Counters":     true,
+	"kvdirect/internal/stats.Gauges":       true,
+	"kvdirect/internal/stats.IntGauges":    true,
+	"kvdirect/internal/telemetry.Registry": true,
+}
+
+// Analyzer is the metricname pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metricname",
+	Doc:  "enforce layer.noun[_unit] naming on literal metric names (one-namespace invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.Inspect(func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		if !isRegistryCall(pass.TypesInfo, call) {
+			return true
+		}
+		lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit)
+		if !ok || lit.Kind.String() != "STRING" {
+			return true // runtime-built name: out of scope
+		}
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil || nameRe.MatchString(name) {
+			return true
+		}
+		pass.Reportf(lit.Pos(),
+			"metric name %q does not match layer.noun[_unit] "+
+				"(lowercase snake_case segments joined by one dot, e.g. server.op_latency_ns)",
+			name)
+		return true
+	})
+	return nil
+}
+
+// isRegistryCall reports whether call is a method on one of the metric
+// registries whose first parameter is the metric name.
+func isRegistryCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	if b, ok := sig.Params().At(0).Type().(*types.Basic); !ok || b.Kind() != types.String {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return registryTypes[named.Obj().Pkg().Path()+"."+named.Obj().Name()]
+}

@@ -1,0 +1,15 @@
+package metricname_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/metricname"
+)
+
+func TestMetricName(t *testing.T) {
+	analysistest.Run(t, metricname.Analyzer, analysistest.Package{
+		Dir:  "testdata/metrics",
+		Path: "kvdirect/internal/analysis/metricname/testdata/metrics",
+	})
+}

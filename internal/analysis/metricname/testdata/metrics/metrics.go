@@ -1,0 +1,41 @@
+// Fixture for metric name convention checks.
+package metrics
+
+import (
+	"kvdirect/internal/stats"
+	"kvdirect/internal/telemetry"
+)
+
+func record(c *stats.Counters, g *stats.Gauges, ig *stats.IntGauges, r *telemetry.Registry) {
+	// Conforming names: layer.noun, optional snake_case and unit suffix.
+	c.Add("server.ops", 1)
+	g.Set("core.keys", 7)
+	g.SetMax("repl.lag_max", 3)
+	ig.Set("repl.lag", -2)
+	r.Histogram("server.op_latency_ns").Observe(1)
+	c.Add("dram.line_reads", 1)
+
+	// Violations.
+	c.Add("ops", 1)                 // want "does not match layer.noun"
+	c.Add("server.Ops", 1)          // want "does not match layer.noun"
+	g.Set("replLag", 0)             // want "does not match layer.noun"
+	ig.Set("repl.lag.max", 0)       // want "does not match layer.noun"
+	c.Add("server..ops", 1)         // want "does not match layer.noun"
+	c.Add("server.ops-total", 1)    // want "does not match layer.noun"
+	c.Add("_server.ops", 1)         // want "does not match layer.noun"
+	r.Histogram("latency")          // want "does not match layer.noun"
+	c.Add("server.ops_", 1)         // want "does not match layer.noun"
+
+	// Runtime-built names are out of scope.
+	name := "server." + suffix()
+	c.Add(name, 1)
+
+	// String first args on unrelated types are not metric names.
+	other{}.Add("whatever", 1)
+}
+
+func suffix() string { return "ops" }
+
+type other struct{}
+
+func (other) Add(name string, v int) {}

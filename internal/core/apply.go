@@ -128,6 +128,9 @@ func (s *Store) applyOp(req wire.Request) wire.Response {
 			st.FaultsInjected, st.CorruptChains, state)
 		return wire.Response{Status: wire.StatusOK, Value: []byte(text)}
 
+	case wire.OpTelemetry:
+		return s.telemetrySnapshot()
+
 	case wire.OpRegister:
 		src := string(req.Param)
 		var err error

@@ -23,6 +23,7 @@ import (
 	"kvdirect/internal/nicdram"
 	"kvdirect/internal/ooo"
 	"kvdirect/internal/slab"
+	"kvdirect/internal/telemetry"
 )
 
 // Config parameterizes a Store. The zero value is usable: defaults follow
@@ -139,6 +140,8 @@ type Store struct {
 
 	updateFns map[uint8]UpdateFunc
 	filterFns map[uint8]FilterFunc
+
+	tel *telemetry.Registry // nil until SetTelemetry
 
 	closed bool
 }

@@ -63,6 +63,16 @@ type Stats struct {
 	CachedWrites uint64
 }
 
+// Sub returns s - t, counter-wise; used to measure a window of activity.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		DirectReads:  s.DirectReads - t.DirectReads,
+		DirectWrites: s.DirectWrites - t.DirectWrites,
+		CachedReads:  s.CachedReads - t.CachedReads,
+		CachedWrites: s.CachedWrites - t.CachedWrites,
+	}
+}
+
 // CachedFraction returns the fraction of requests routed to the cache.
 func (s Stats) CachedFraction() float64 {
 	total := s.DirectReads + s.DirectWrites + s.CachedReads + s.CachedWrites

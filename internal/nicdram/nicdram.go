@@ -49,6 +49,23 @@ type Stats struct {
 	EccLost      uint64 // uncorrectable dirty lines: cached writes lost (escalated)
 }
 
+// Sub returns s - t, counter-wise; used to measure a window of activity
+// (e.g. charging one traced op with its cache hits and misses).
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Hits:           s.Hits - t.Hits,
+		Misses:         s.Misses - t.Misses,
+		Fills:          s.Fills - t.Fills,
+		DirtyEvictions: s.DirtyEvictions - t.DirtyEvictions,
+		CleanEvictions: s.CleanEvictions - t.CleanEvictions,
+		DRAMLineReads:  s.DRAMLineReads - t.DRAMLineReads,
+		DRAMLineWrites: s.DRAMLineWrites - t.DRAMLineWrites,
+		EccCorrected:   s.EccCorrected - t.EccCorrected,
+		EccHealed:      s.EccHealed - t.EccHealed,
+		EccLost:        s.EccLost - t.EccLost,
+	}
+}
+
 // HitRate returns hits/(hits+misses), or 0 with no traffic.
 func (s Stats) HitRate() float64 {
 	total := s.Hits + s.Misses

@@ -18,6 +18,7 @@ import (
 	"kvdirect/internal/fault"
 	"kvdirect/internal/sim"
 	"kvdirect/internal/stats"
+	"kvdirect/internal/telemetry"
 )
 
 // Config captures one PCIe Gen3 x8 endpoint's parameters. The zero value is
@@ -39,6 +40,12 @@ type Config struct {
 	Faults         *fault.Injector
 	StallPenaltyNs float64 // extra latency per injected stall (default 10 µs)
 	TimeoutNs      float64 // completion-timeout before re-issue (default 100 µs)
+
+	// LatencyHistogram optionally captures each simulated read's latency
+	// (virtual-clock ns) into a telemetry histogram alongside the exact
+	// Sample, so the Figure 3b CDF is also available through the
+	// registry's mergeable/export path. Nil disables capture.
+	LatencyHistogram *telemetry.Histogram
 }
 
 // DefaultConfig returns the paper's measured endpoint parameters.
@@ -204,7 +211,11 @@ func (c Config) SimulateRandomAccess(nRequests, concurrency, payloadBytes int, w
 				completed++
 				inflight--
 				if !write {
-					lat.Add(clk.Now() - issueTime)
+					reqNs := clk.Now() - issueTime
+					lat.Add(reqNs)
+					if c.LatencyHistogram != nil {
+						c.LatencyHistogram.Observe(uint64(reqNs))
+					}
 				}
 				tryIssue()
 			})

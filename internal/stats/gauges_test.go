@@ -30,13 +30,13 @@ func TestGaugesSetMax(t *testing.T) {
 
 func TestGaugesSnapshotOrderAndString(t *testing.T) {
 	g := NewGauges()
-	g.Set("b", 2)
-	g.Set("a", 1)
+	g.Set("test.b", 2)
+	g.Set("test.a", 1)
 	snap := g.Snapshot()
-	if len(snap) != 2 || snap[0].Name != "b" || snap[1].Name != "a" {
+	if len(snap) != 2 || snap[0].Name != "test.b" || snap[1].Name != "test.a" {
 		t.Fatalf("snapshot %v not in registration order", snap)
 	}
-	if s := g.String(); !strings.Contains(s, "b=2\n") || !strings.Contains(s, "a=1\n") {
+	if s := g.String(); !strings.Contains(s, "test.b=2\n") || !strings.Contains(s, "test.a=1\n") {
 		t.Fatalf("String() = %q", s)
 	}
 }
@@ -49,14 +49,14 @@ func TestGaugesConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				g.Set("x", uint64(i))
-				g.SetMax("x_max", uint64(w*1000+i))
-				_ = g.Get("x")
+				g.Set("test.x", uint64(i))
+				g.SetMax("test.x_max", uint64(w*1000+i))
+				_ = g.Get("test.x")
 			}
 		}(w)
 	}
 	wg.Wait()
-	if got := g.Get("x_max"); got != 7999 {
+	if got := g.Get("test.x_max"); got != 7999 {
 		t.Fatalf("x_max = %d, want 7999", got)
 	}
 }

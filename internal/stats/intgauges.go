@@ -1,0 +1,99 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// IntGauges is the signed sibling of Gauges. Unsigned gauges have a
+// blind spot: a level that can transiently go negative — replication
+// lag measured as primary-sequence minus acked-sequence while an ack
+// races ahead of the local bookkeeping — wraps to a huge positive
+// value when stored in an atomic.Uint64. IntGauges stores int64 so
+// negative levels survive as themselves and dashboards can clamp or
+// display them deliberately.
+type IntGauges struct {
+	mu    sync.RWMutex
+	order []string
+	vals  map[string]*atomic.Int64
+}
+
+// NewIntGauges returns an empty registry.
+func NewIntGauges() *IntGauges {
+	return &IntGauges{vals: map[string]*atomic.Int64{}}
+}
+
+// Gauge returns the gauge registered under name, creating it at zero on
+// first use.
+func (g *IntGauges) Gauge(name string) *atomic.Int64 {
+	g.mu.RLock()
+	v := g.vals[name]
+	g.mu.RUnlock()
+	if v != nil {
+		return v
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if v = g.vals[name]; v == nil {
+		v = new(atomic.Int64)
+		g.vals[name] = v
+		g.order = append(g.order, name)
+	}
+	return v
+}
+
+// Set stores the current level of name.
+func (g *IntGauges) Set(name string, v int64) { g.Gauge(name).Store(v) }
+
+// Add moves name by delta, which may be negative.
+func (g *IntGauges) Add(name string, delta int64) { g.Gauge(name).Add(delta) }
+
+// Get returns name's current level (zero if never registered).
+func (g *IntGauges) Get(name string) int64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if v := g.vals[name]; v != nil {
+		return v.Load()
+	}
+	return 0
+}
+
+// SetMax raises name to v if v is higher, for high-water marks.
+func (g *IntGauges) SetMax(name string, v int64) {
+	gv := g.Gauge(name)
+	for {
+		cur := gv.Load()
+		if v <= cur || gv.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// IntValue is one (name, value) snapshot entry.
+type IntValue struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot returns all gauges in registration order.
+func (g *IntGauges) Snapshot() []IntValue {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]IntValue, 0, len(g.order))
+	for _, name := range g.order {
+		out = append(out, IntValue{Name: name, Value: g.vals[name].Load()})
+	}
+	return out
+}
+
+// String renders the gauges as "name=value" lines in registration
+// order, matching the counter/status-register text format.
+func (g *IntGauges) String() string {
+	var b strings.Builder
+	for _, iv := range g.Snapshot() {
+		fmt.Fprintf(&b, "%s=%d\n", iv.Name, iv.Value)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestIntGaugesNegativeLevels(t *testing.T) {
+	// Regression: replication lag computed as primary-seq minus acked-seq
+	// can transiently go negative when an ack races local bookkeeping.
+	// Stored in an unsigned gauge that wraps to ~1.8e19; a signed gauge
+	// must report the negative value as itself.
+	g := NewIntGauges()
+	primarySeq, ackedSeq := int64(100), int64(103)
+	g.Set("repl.lag", primarySeq-ackedSeq)
+	if got := g.Get("repl.lag"); got != -3 {
+		t.Fatalf("negative lag = %d, want -3", got)
+	}
+	// The unsigned registry wraps the same value — the blind spot this
+	// type exists to close.
+	u := NewGauges()
+	u.Set("repl.lag", uint64(primarySeq-ackedSeq))
+	if got := u.Get("repl.lag"); got < 1<<63 {
+		t.Fatalf("expected unsigned wrap, got %d", got)
+	}
+	if s := g.String(); !strings.Contains(s, "repl.lag=-3\n") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestIntGaugesSetGetAdd(t *testing.T) {
+	g := NewIntGauges()
+	if got := g.Get("repl.lag"); got != 0 {
+		t.Fatalf("unregistered gauge = %d", got)
+	}
+	g.Set("repl.lag", 7)
+	g.Add("repl.lag", -9)
+	if got := g.Get("repl.lag"); got != -2 {
+		t.Fatalf("lag = %d, want -2", got)
+	}
+	g.Set("repl.lag", 3)
+	if got := g.Get("repl.lag"); got != 3 {
+		t.Fatalf("lag = %d, want 3", got)
+	}
+}
+
+func TestIntGaugesSetMax(t *testing.T) {
+	g := NewIntGauges()
+	g.SetMax("repl.lag_max", -5)
+	if got := g.Get("repl.lag_max"); got != 0 {
+		// A fresh gauge starts at 0; -5 must not raise it.
+		t.Fatalf("lag_max = %d, want 0", got)
+	}
+	g.SetMax("repl.lag_max", 9)
+	g.SetMax("repl.lag_max", 2)
+	if got := g.Get("repl.lag_max"); got != 9 {
+		t.Fatalf("lag_max = %d, want 9", got)
+	}
+}
+
+func TestIntGaugesSnapshotOrder(t *testing.T) {
+	g := NewIntGauges()
+	g.Set("test.b", -2)
+	g.Set("test.a", 1)
+	snap := g.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "test.b" || snap[1].Name != "test.a" {
+		t.Fatalf("snapshot %v not in registration order", snap)
+	}
+	if snap[0].Value != -2 {
+		t.Fatalf("snapshot value = %d", snap[0].Value)
+	}
+}
+
+func TestIntGaugesConcurrent(t *testing.T) {
+	g := NewIntGauges()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Set("test.x", int64(i-500))
+				g.SetMax("test.x_max", int64(w*1000+i))
+				g.Add("test.net", 1)
+				g.Add("test.net", -1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Get("test.x_max"); got != 7999 {
+		t.Fatalf("x_max = %d, want 7999", got)
+	}
+	if got := g.Get("test.net"); got != 0 {
+		t.Fatalf("balanced adds = %d, want 0", got)
+	}
+}

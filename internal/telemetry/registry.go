@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+
+	"kvdirect/internal/stats"
+)
+
+// Registry is the single rendezvous point for a process's telemetry:
+// the monotonic counters and gauges the layers already keep, signed
+// gauges for levels that can dip negative, latency histograms, and the
+// span tracer. Everything a server knows about itself comes out of one
+// Snapshot call, which serializes to JSON and merges across shards.
+//
+// A Registry is cheap to share: the kvnet server, the core store, and a
+// replication peer all hold the same instance so their metrics land in
+// one namespace.
+type Registry struct {
+	counters *stats.Counters
+	gauges   *stats.Gauges
+	ints     *stats.IntGauges
+	tracer   *Tracer
+
+	mu    sync.RWMutex
+	order []string
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry with sampling off.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: stats.NewCounters(),
+		gauges:   stats.NewGauges(),
+		ints:     stats.NewIntGauges(),
+		tracer:   NewTracer(),
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counters returns the registry's counter set.
+func (r *Registry) Counters() *stats.Counters { return r.counters }
+
+// Gauges returns the registry's unsigned gauge set.
+func (r *Registry) Gauges() *stats.Gauges { return r.gauges }
+
+// IntGauges returns the registry's signed gauge set.
+func (r *Registry) IntGauges() *stats.IntGauges { return r.ints }
+
+// Tracer returns the registry's span tracer.
+func (r *Registry) Tracer() *Tracer { return r.tracer }
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. The returned pointer is stable; hot paths resolve a name
+// once and Observe on the handle thereafter.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(name)
+		r.hists[name] = h
+		r.order = append(r.order, name)
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a Registry, JSON-serializable and
+// mergeable across shards or processes.
+type Snapshot struct {
+	Counters   map[string]uint64   `json:"counters,omitempty"`
+	Gauges     map[string]uint64   `json:"gauges,omitempty"`
+	IntGauges  map[string]int64    `json:"int_gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []*Span             `json:"spans,omitempty"`
+}
+
+// Snapshot captures every metric the registry knows about, plus the
+// tracer's retained spans.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:  map[string]uint64{},
+		Gauges:    map[string]uint64{},
+		IntGauges: map[string]int64{},
+	}
+	for _, cv := range r.counters.Snapshot() {
+		s.Counters[cv.Name] = cv.Value
+	}
+	for _, cv := range r.gauges.Snapshot() {
+		s.Gauges[cv.Name] = cv.Value
+	}
+	for _, iv := range r.ints.Snapshot() {
+		s.IntGauges[iv.Name] = iv.Value
+	}
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	r.mu.RUnlock()
+	for _, name := range names {
+		s.Histograms = append(s.Histograms, r.Histogram(name).Snapshot())
+	}
+	s.Spans = r.tracer.Spans()
+	return s
+}
+
+// Merge folds o into s: same-named counters and gauges sum (counters
+// because they are monotonic event totals; gauges because the merged
+// view reads as a cluster-wide level, e.g. total keys across shards),
+// histograms merge bucket-wise by name, and spans concatenate.
+func (s *Snapshot) Merge(o Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]uint64{}
+	}
+	if s.IntGauges == nil {
+		s.IntGauges = map[string]int64{}
+	}
+	for k, v := range o.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range o.Gauges {
+		s.Gauges[k] += v
+	}
+	for k, v := range o.IntGauges {
+		s.IntGauges[k] += v
+	}
+	byName := map[string]int{}
+	for i, h := range s.Histograms {
+		byName[h.Name] = i
+	}
+	for _, h := range o.Histograms {
+		if i, ok := byName[h.Name]; ok {
+			s.Histograms[i].Merge(h)
+		} else {
+			byName[h.Name] = len(s.Histograms)
+			s.Histograms = append(s.Histograms, h)
+		}
+	}
+	sort.Slice(s.Histograms, func(i, j int) bool {
+		return s.Histograms[i].Name < s.Histograms[j].Name
+	})
+	s.Spans = append(s.Spans, o.Spans...)
+}
+
+// Histogram returns the named histogram snapshot, or a zero snapshot if
+// absent.
+func (s Snapshot) Histogram(name string) HistogramSnapshot {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h
+		}
+	}
+	return HistogramSnapshot{Name: name}
+}

@@ -133,6 +133,9 @@ const (
 	OpRegister = OpCode(wire.OpRegister)
 	// OpStats fetches server counters as key=value text.
 	OpStats = OpCode(wire.OpStats)
+	// OpTelemetry fetches the unified telemetry snapshot as JSON (see
+	// internal/telemetry); fails unless a registry is attached.
+	OpTelemetry = OpCode(wire.OpTelemetry)
 )
 
 // Result status codes.

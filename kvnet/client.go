@@ -3,6 +3,7 @@ package kvnet
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -11,6 +12,8 @@ import (
 
 	"kvdirect"
 	"kvdirect/internal/stats"
+	"kvdirect/internal/telemetry"
+	"kvdirect/internal/wire"
 )
 
 // Options tunes a Client's resilience behaviour. The zero value gives
@@ -38,6 +41,9 @@ type Options struct {
 	// NoReconnect keeps the client on its original connection: after a
 	// transport failure the client is broken and every call fails fast.
 	NoReconnect bool
+	// Telemetry is the registry the client records into (request RTTs in
+	// client.rtt_ns, resilience counters). Nil gets a private registry.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -104,6 +110,8 @@ type Client struct {
 	closed bool
 
 	counters *stats.Counters
+	tel      *telemetry.Registry
+	rtt      *telemetry.Histogram
 	backoff  *Backoff
 }
 
@@ -114,10 +122,16 @@ func Dial(addr string) (*Client, error) {
 
 // DialOptions connects to a KV-Direct server.
 func DialOptions(addr string, opts Options) (*Client, error) {
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+	}
 	c := &Client{
 		opts:     opts.withDefaults(),
 		addr:     addr,
-		counters: stats.NewCounters(),
+		counters: tel.Counters(),
+		tel:      tel,
+		rtt:      tel.Histogram("client.rtt_ns"),
 	}
 	c.backoff = NewBackoff(c.opts.RetryBaseDelay, c.opts.RetryMaxDelay, time.Now().UnixNano())
 	c.mu.Lock()
@@ -131,6 +145,10 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 // Counters exposes the client's resilience counters: client.retries,
 // client.reconnects, client.broken, client.corrupt_frames.
 func (c *Client) Counters() *stats.Counters { return c.counters }
+
+// Telemetry returns the client's registry: the counters above plus the
+// client.rtt_ns round-trip latency histogram.
+func (c *Client) Telemetry() *telemetry.Registry { return c.tel }
 
 // Close terminates the connection. Subsequent calls fail with ErrClosed.
 func (c *Client) Close() error {
@@ -216,6 +234,67 @@ func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return c.exchange(ops, pkt, len(ops))
+}
+
+// DoTraced sends one batch with the wire trace flag set, asking the
+// server for an end-to-end span of the batch. The returned span carries
+// the client-measured stages (encode, network round trip), the
+// server-side child span with its per-stage timings, and the PCIe/DRAM
+// access counts the performance model charged the batch — the paper's
+// per-op cost breakdown for one live operation. Results are identical
+// to Do. The span is also retained in the client registry's trace ring.
+func (c *Client) DoTraced(ops []kvdirect.Op) ([]kvdirect.Result, *telemetry.Span, error) {
+	span := c.tel.Tracer().Force()
+	span.SetOp(traceLabel(ops), len(ops))
+	st := span.StartStage("client.encode")
+	pkt, err := kvdirect.EncodeBatch(ops)
+	if err == nil {
+		err = wire.MarkTraced(pkt)
+	}
+	st.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	// The server appends one extra trailing response holding its span.
+	st = span.StartStage("client.rtt")
+	results, err := c.exchange(ops, pkt, len(ops)+1)
+	st.End()
+	if err != nil {
+		span.SetErr(err)
+		c.tel.Tracer().Publish(span)
+		return nil, span, err
+	}
+	last := results[len(results)-1]
+	results = results[:len(results)-1]
+	if last.OK() {
+		var srv telemetry.Span
+		if jerr := json.Unmarshal(last.Value, &srv); jerr == nil {
+			span.Server = &srv
+			span.AddCounts(srv.Counts)
+		}
+	}
+	c.tel.Tracer().Publish(span) // finishes TotalNs
+	return results, span, nil
+}
+
+// traceLabel mirrors the server's batch naming for client spans.
+func traceLabel(ops []kvdirect.Op) string {
+	if len(ops) == 0 {
+		return "EMPTY"
+	}
+	code := ops[0].Code
+	for _, op := range ops[1:] {
+		if op.Code != code {
+			return "MIXED"
+		}
+	}
+	return wire.OpCode(code).String()
+}
+
+// exchange runs the retry loop for one encoded packet, expecting want
+// responses.
+func (c *Client) exchange(ops []kvdirect.Op, pkt []byte, want int) ([]kvdirect.Result, error) {
 	retries := 0
 	if idempotent(ops) {
 		retries = c.opts.MaxRetries
@@ -235,7 +314,7 @@ func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 			lastErr = err // dial failure: maybe transient, keep retrying
 			continue
 		}
-		res, err := c.doOnceLocked(pkt, len(ops))
+		res, err := c.doOnceLocked(pkt, want)
 		if err == nil {
 			return res, nil
 		}
@@ -248,6 +327,7 @@ func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 // doOnceLocked performs one request/response exchange on the current
 // connection.
 func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
+	start := time.Now()
 	if t := c.opts.WriteTimeout; t > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
 			return nil, err // connection already unusable; caller marks it broken
@@ -278,6 +358,7 @@ func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
 	if len(results) != nops {
 		return nil, fmt.Errorf("kvnet: %d results for %d ops", len(results), nops)
 	}
+	c.rtt.Observe(uint64(time.Since(start).Nanoseconds()))
 	return results, nil
 }
 
@@ -432,4 +513,22 @@ func (c *Client) Stats() (string, error) {
 		return "", fmt.Errorf("kvnet: stats: %s", res[0].Value)
 	}
 	return string(res[0].Value), nil
+}
+
+// ScrapeTelemetry fetches the server's full telemetry snapshot over the
+// KV protocol itself (OpTelemetry): counters, gauges, latency
+// histograms and retained spans, without needing the HTTP endpoint.
+func (c *Client) ScrapeTelemetry() (telemetry.Snapshot, error) {
+	res, err := c.Do([]kvdirect.Op{{Code: kvdirect.OpTelemetry}})
+	if err != nil {
+		return telemetry.Snapshot{}, err
+	}
+	if !res[0].OK() {
+		return telemetry.Snapshot{}, fmt.Errorf("kvnet: telemetry: %s", res[0].Value)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(res[0].Value, &snap); err != nil {
+		return telemetry.Snapshot{}, fmt.Errorf("kvnet: telemetry: %w", err)
+	}
+	return snap, nil
 }

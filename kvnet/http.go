@@ -1,0 +1,45 @@
+package kvnet
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"kvdirect/internal/telemetry"
+)
+
+// NewTelemetryHandler returns an http.Handler exposing the servers'
+// merged telemetry:
+//
+//	GET /metrics          Prometheus text format
+//	GET /debug/telemetry  the full Snapshot as JSON (includes spans)
+//
+// Multiple servers (one per shard) merge into a single view — counters
+// sum, same-named histograms combine bucket-wise — exercising the same
+// mergeable-snapshot path the CLI uses. Snapshots are taken under each
+// server's pipeline lock, so scraping a loaded server is safe.
+func NewTelemetryHandler(servers ...*Server) http.Handler {
+	snapshot := func() telemetry.Snapshot {
+		var merged telemetry.Snapshot
+		for _, s := range servers {
+			merged.Merge(s.TelemetrySnapshot())
+		}
+		return merged
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := telemetry.WritePrometheus(w, snapshot()); err != nil {
+			// Headers are out; nothing to do but drop the connection.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/telemetry", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snapshot()); err != nil {
+			return
+		}
+	})
+	return mux
+}

@@ -16,6 +16,7 @@ package kvnet
 
 import (
 	"bufio"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
@@ -26,6 +27,7 @@ import (
 	"kvdirect"
 	"kvdirect/internal/fault"
 	"kvdirect/internal/stats"
+	"kvdirect/internal/telemetry"
 	"kvdirect/internal/wire"
 )
 
@@ -45,6 +47,15 @@ type ServerOptions struct {
 	// reply mid-frame, NetCorruptFrame flips payload bytes after the CRC
 	// was computed.
 	Faults *fault.Injector
+	// Telemetry is the registry this server records into. Nil gets a
+	// private registry; owners that stack layers (a replica with its
+	// store and server, a multi-shard process with one /metrics page)
+	// pass one shared registry so everything lands in one namespace.
+	Telemetry *telemetry.Registry
+	// TraceSampleEvery server-samples one batch in N for a span even
+	// when clients don't request tracing (0 = off). Sampled spans are
+	// retained in the registry's tracer ring and appear in snapshots.
+	TraceSampleEvery uint64
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -56,6 +67,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	}
 	if o.ReadIdleTimeout < 0 {
 		o.ReadIdleTimeout = 0
+	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.NewRegistry()
 	}
 	return o
 }
@@ -72,24 +86,50 @@ type Backend interface {
 	ApplyBatch(reqs []wire.Request) []wire.Response
 }
 
+// TracedBackend is optionally implemented by backends that can charge a
+// span with the hardware access counts an applied batch cost (Store
+// does; so do kvrepl replicas). Servers fall back to plain ApplyBatch
+// when the backend doesn't implement it or the span is nil.
+type TracedBackend interface {
+	Backend
+	ApplyBatchTraced(reqs []wire.Request, span *telemetry.Span) []wire.Response
+}
+
+// TelemetryPublisher is optionally implemented by backends that can
+// refresh derived gauges (core key counts, cache hit levels) into the
+// shared registry before a snapshot is taken. Called under the server's
+// pipeline lock.
+type TelemetryPublisher interface {
+	PublishTelemetry()
+}
+
 // storeBackend adapts a Store, isolating each operation's panics: a
 // fault tripping a panic (e.g. a corrupted pointer walking off the
 // address space, or a registered λ misbehaving) becomes that
-// operation's error response.
+// operation's error response. It also times each operation into the
+// server.op_latency_ns histogram — per-op, not per-batch, so tail
+// percentiles reflect operation cost rather than batch size.
 type storeBackend struct {
-	store    *kvdirect.Store
-	counters *stats.Counters
+	store     *kvdirect.Store
+	counters  *stats.Counters
+	opLatency *telemetry.Histogram
 }
 
 func (b storeBackend) ApplyBatch(reqs []wire.Request) []wire.Response {
+	return b.ApplyBatchTraced(reqs, nil)
+}
+
+func (b storeBackend) ApplyBatchTraced(reqs []wire.Request, span *telemetry.Span) []wire.Response {
 	out := make([]wire.Response, len(reqs))
 	for i, req := range reqs {
-		out[i] = b.applyOne(req)
+		out[i] = b.applyOne(req, span)
 	}
 	return out
 }
 
-func (b storeBackend) applyOne(req wire.Request) (resp wire.Response) {
+func (b storeBackend) PublishTelemetry() { b.store.PublishTelemetry() }
+
+func (b storeBackend) applyOne(req wire.Request, span *telemetry.Span) (resp wire.Response) {
 	defer func() {
 		if r := recover(); r != nil {
 			b.counters.Add("server.panics", 1)
@@ -97,7 +137,10 @@ func (b storeBackend) applyOne(req wire.Request) (resp wire.Response) {
 				Value: []byte(fmt.Sprintf("panic: %v", r))}
 		}
 	}()
-	return b.store.Apply(req)
+	start := time.Now()
+	resp = b.store.ApplyTraced(req, span)
+	b.opLatency.Observe(uint64(time.Since(start).Nanoseconds()))
+	return resp
 }
 
 // Server exposes one Backend (usually a Store) over TCP.
@@ -116,6 +159,8 @@ type Server struct {
 	closeErr  error
 
 	counters *stats.Counters
+	tel      *telemetry.Registry
+	batchOps *telemetry.Histogram
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0") with default
@@ -124,33 +169,58 @@ func Serve(store *kvdirect.Store, addr string) (*Server, error) {
 	return ServeOptions(store, addr, ServerOptions{})
 }
 
-// ServeOptions starts a server on addr.
+// ServeOptions starts a server on addr. The store is attached to the
+// server's telemetry registry, so wire scrapes (OpTelemetry) and HTTP
+// exports see core gauges alongside server counters.
 func ServeOptions(store *kvdirect.Store, addr string, opts ServerOptions) (*Server, error) {
-	counters := stats.NewCounters()
-	return serve(storeBackend{store: store, counters: counters}, addr, opts, counters)
+	opts = opts.withDefaults()
+	store.SetTelemetry(opts.Telemetry)
+	return serve(storeBackend{
+		store:     store,
+		counters:  opts.Telemetry.Counters(),
+		opLatency: opts.Telemetry.Histogram("server.op_latency_ns"),
+	}, addr, opts)
 }
 
 // ServeBackend starts a server on addr fronting an arbitrary Backend
 // (e.g. a kvrepl replica).
 func ServeBackend(backend Backend, addr string, opts ServerOptions) (*Server, error) {
-	return serve(backend, addr, opts, stats.NewCounters())
+	return serve(backend, addr, opts.withDefaults())
 }
 
-func serve(backend Backend, addr string, opts ServerOptions, counters *stats.Counters) (*Server, error) {
+func serve(backend Backend, addr string, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("kvnet: %w", err)
 	}
 	s := &Server{
 		backend:  backend,
-		opts:     opts.withDefaults(),
+		opts:     opts,
 		ln:       ln,
 		conns:    map[net.Conn]struct{}{},
-		counters: counters,
+		counters: opts.Telemetry.Counters(),
+		tel:      opts.Telemetry,
+		batchOps: opts.Telemetry.Histogram("server.batch_ops"),
 	}
+	s.tel.Tracer().SetSampleEvery(opts.TraceSampleEvery)
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
+}
+
+// Telemetry returns the server's registry (shared with its backend).
+func (s *Server) Telemetry() *telemetry.Registry { return s.tel }
+
+// TelemetrySnapshot refreshes backend gauges under the pipeline lock
+// and returns the full snapshot — the safe way to scrape a live server
+// from another goroutine (the HTTP exporter uses it).
+func (s *Server) TelemetrySnapshot() telemetry.Snapshot {
+	s.mu.Lock()
+	if p, ok := s.backend.(TelemetryPublisher); ok {
+		p.PublishTelemetry()
+	}
+	s.mu.Unlock()
+	return s.tel.Snapshot()
 }
 
 // Counters exposes the server's resilience counters: server.panics,
@@ -236,7 +306,19 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			return // short read / reset / idle timeout: connection is gone
 		}
+		// A client-requested trace (FlagTrace on the packet) always gets
+		// a span, returned as one extra trailing response; otherwise the
+		// server's own sampler may pick the batch for its trace ring.
+		traced := wire.IsTraced(pkt)
+		var span *telemetry.Span
+		if traced {
+			span = s.tel.Tracer().Force()
+		} else {
+			span = s.tel.Tracer().Sample()
+		}
+		st := span.StartStage("server.decode")
 		reqs, err := wire.DecodeRequests(pkt)
+		st.End()
 		if err != nil {
 			// Malformed batch inside an intact frame: graceful rejection,
 			// not connection death.
@@ -246,7 +328,18 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
-		resps := s.apply(reqs)
+		span.SetOp(batchLabel(reqs), len(reqs))
+		st = span.StartStage("server.apply")
+		resps := s.apply(reqs, span)
+		st.End()
+		if traced {
+			// The span covers decode+apply; it must be finished before
+			// marshalling, so the reply stage is deliberately outside it.
+			span.Finish()
+			resps = append(resps, spanResponse(span))
+		} else if span != nil {
+			s.tel.Tracer().Publish(span)
+		}
 		out, err := wire.AppendResponses(nil, resps)
 		if err != nil {
 			return
@@ -257,10 +350,42 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
-// apply runs a batch against the backend under the pipeline lock.
-func (s *Server) apply(reqs []wire.Request) []wire.Response {
+// batchLabel names a span after its batch: the op code when uniform,
+// "MIXED" otherwise.
+func batchLabel(reqs []wire.Request) string {
+	if len(reqs) == 0 {
+		return "EMPTY"
+	}
+	op := reqs[0].Op
+	for _, r := range reqs[1:] {
+		if r.Op != op {
+			return "MIXED"
+		}
+	}
+	return op.String()
+}
+
+// spanResponse marshals a finished span as the traced batch's extra
+// trailing response.
+func spanResponse(span *telemetry.Span) wire.Response {
+	data, err := json.Marshal(span)
+	if err != nil {
+		return wire.Response{Status: wire.StatusError, Value: []byte(err.Error())}
+	}
+	return wire.Response{Status: wire.StatusOK, Value: data}
+}
+
+// apply runs a batch against the backend under the pipeline lock,
+// charging a non-nil span with the batch's access counts when the
+// backend supports tracing.
+func (s *Server) apply(reqs []wire.Request, span *telemetry.Span) []wire.Response {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.counters.Add("server.ops", uint64(len(reqs)))
+	s.batchOps.Observe(uint64(len(reqs)))
+	if tb, ok := s.backend.(TracedBackend); ok && span != nil {
+		return tb.ApplyBatchTraced(reqs, span)
+	}
 	return s.backend.ApplyBatch(reqs)
 }
 

@@ -11,6 +11,7 @@ import (
 	"kvdirect/internal/fault"
 	"kvdirect/internal/repllog"
 	"kvdirect/internal/stats"
+	"kvdirect/internal/telemetry"
 	"kvdirect/internal/wire"
 	"kvdirect/kvnet"
 )
@@ -27,10 +28,13 @@ type Replica struct {
 	opts      Options
 	cfg       kvdirect.Config
 
-	log      *repllog.Log
-	counters *stats.Counters
-	gauges   *stats.Gauges
-	faults   *fault.Injector
+	log        *repllog.Log
+	tel        *telemetry.Registry
+	counters   *stats.Counters
+	gauges     *stats.Gauges
+	ints       *stats.IntGauges
+	quorumWait *telemetry.Histogram
+	faults     *fault.Injector
 
 	clientSrv  *kvnet.Server
 	replLn     net.Listener
@@ -64,27 +68,36 @@ func NewReplica(shard, id, groupSize int, cfg kvdirect.Config, clientAddr, replA
 	if err != nil {
 		return nil, fmt.Errorf("kvrepl: replica %d/%d: %w", shard, id, err)
 	}
+	// One registry spans the whole replica stack — replication counters
+	// and lag gauges, the client server's wire counters, and the store's
+	// core/pcie/dram gauges all land in the same namespace, so a single
+	// scrape (OpTelemetry or /metrics) sees the replica end to end.
+	tel := telemetry.NewRegistry()
+	store.SetTelemetry(tel)
 	r := &Replica{
-		shard:     shard,
-		id:        id,
-		groupSize: groupSize,
-		opts:      opts,
-		cfg:       store.Config(),
-		store:     store,
-		log:       repllog.New(opts.LogWindow),
-		counters:  stats.NewCounters(),
-		gauges:    stats.NewGauges(),
-		faults:    opts.Faults,
-		ackWake:   make(chan struct{}),
-		conns:     map[net.Conn]bool{},
-		peerAcked: map[int]uint64{},
+		shard:      shard,
+		id:         id,
+		groupSize:  groupSize,
+		opts:       opts,
+		cfg:        store.Config(),
+		store:      store,
+		log:        repllog.New(opts.LogWindow),
+		tel:        tel,
+		counters:   tel.Counters(),
+		gauges:     tel.Gauges(),
+		ints:       tel.IntGauges(),
+		quorumWait: tel.Histogram("repl.quorum_wait_ns"),
+		faults:     opts.Faults,
+		ackWake:    make(chan struct{}),
+		conns:      map[net.Conn]bool{},
+		peerAcked:  map[int]uint64{},
 	}
 	r.replLn, err = net.Listen("tcp", replAddr)
 	if err != nil {
 		store.Close()
 		return nil, fmt.Errorf("kvrepl: replica %d/%d repl listener: %w", shard, id, err)
 	}
-	r.clientSrv, err = kvnet.ServeBackend(r, clientAddr, kvnet.ServerOptions{})
+	r.clientSrv, err = kvnet.ServeBackend(r, clientAddr, kvnet.ServerOptions{Telemetry: tel})
 	if err != nil {
 		_ = r.replLn.Close() // listener never served; the serve error is reported
 		store.Close()
@@ -142,9 +155,20 @@ func (r *Replica) Alive() bool {
 // repl.apply_panics.
 func (r *Replica) Counters() *stats.Counters { return r.counters }
 
-// Gauges exposes the replication gauges: repl.lag (entries the slowest
-// tracked backup is behind), repl.lag_max (its high-water mark).
+// Gauges exposes the replica's unsigned gauges (shared with the store's
+// core gauges). Replication lag lives in IntGauges — it is transiently
+// negative when a backup applies past a heartbeat's frontier, which an
+// unsigned gauge would wrap to ~2^64.
 func (r *Replica) Gauges() *stats.Gauges { return r.gauges }
+
+// IntGauges exposes the signed replication gauges: repl.lag (entries
+// the slowest tracked backup is behind), repl.lag_max (its high-water
+// mark), repl.epoch, repl.applied_seq.
+func (r *Replica) IntGauges() *stats.IntGauges { return r.ints }
+
+// Telemetry returns the registry shared by the replica, its store and
+// its client-facing server.
+func (r *Replica) Telemetry() *telemetry.Registry { return r.tel }
 
 // Store exposes the replica's store for inspection. The store is not
 // safe for concurrent use — only read it once the group is quiesced
@@ -324,6 +348,14 @@ func mutating(op wire.OpCode) bool {
 // interposed on the standard wire path. Reads apply locally; mutations
 // are sequenced, logged, applied, shipped, and held until quorum.
 func (r *Replica) ApplyBatch(reqs []wire.Request) []wire.Response {
+	return r.ApplyBatchTraced(reqs, nil)
+}
+
+// ApplyBatchTraced implements kvnet.TracedBackend: the same path with a
+// span charged for the store's access counts and staged for the quorum
+// wait, so a traced write against a replica shows where replication
+// time went.
+func (r *Replica) ApplyBatchTraced(reqs []wire.Request, span *telemetry.Span) []wire.Response {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.role != RolePrimary || r.closed {
@@ -341,7 +373,7 @@ func (r *Replica) ApplyBatch(reqs []wire.Request) []wire.Response {
 	mutIdx := make([]int, 0, len(reqs))
 	for i, req := range reqs {
 		if !mutating(req.Op) {
-			out[i] = r.applyLocalLocked(req)
+			out[i] = r.applyLocalLocked(req, span)
 			continue
 		}
 		seq := r.lastApplied + 1
@@ -350,7 +382,7 @@ func (r *Replica) ApplyBatch(reqs []wire.Request) []wire.Response {
 			out[i] = wire.Response{Status: wire.StatusError, Value: []byte(err.Error())}
 			continue
 		}
-		out[i] = r.applyLocalLocked(req)
+		out[i] = r.applyLocalLocked(req, span)
 		r.lastApplied = seq
 		if err := r.log.Append(e); err != nil {
 			// Unreachable while mu serializes appends; surface loudly
@@ -366,7 +398,12 @@ func (r *Replica) ApplyBatch(reqs []wire.Request) []wire.Response {
 		for _, p := range r.peers {
 			p.notify()
 		}
-		if !r.waitQuorumLocked(lastSeq, epoch) {
+		waitStart := time.Now()
+		st := span.StartStage("repl.quorum_wait")
+		quorum := r.waitQuorumLocked(lastSeq, epoch)
+		st.End()
+		r.quorumWait.Observe(uint64(time.Since(waitStart).Nanoseconds()))
+		if !quorum {
 			r.counters.Add("repl.quorum_failures", 1)
 			msg := []byte("replication quorum not reached (write fate unknown)")
 			for _, i := range mutIdx {
@@ -378,8 +415,9 @@ func (r *Replica) ApplyBatch(reqs []wire.Request) []wire.Response {
 }
 
 // applyLocalLocked runs one request on the local store, isolating
-// panics the way the plain server backend does.
-func (r *Replica) applyLocalLocked(req wire.Request) (resp wire.Response) {
+// panics the way the plain server backend does. A non-nil span is
+// charged with the operation's model access counts.
+func (r *Replica) applyLocalLocked(req wire.Request, span *telemetry.Span) (resp wire.Response) {
 	defer func() {
 		if p := recover(); p != nil {
 			r.counters.Add("repl.apply_panics", 1)
@@ -387,16 +425,30 @@ func (r *Replica) applyLocalLocked(req wire.Request) (resp wire.Response) {
 				Value: []byte(fmt.Sprintf("panic: %v", p))}
 		}
 	}()
-	resp = r.store.Apply(req)
+	resp = r.store.ApplyTraced(req, span)
 	if req.Op == wire.OpStats && resp.Status == wire.StatusOK {
 		// The status registers grow a replication section.
 		text := string(resp.Value) +
 			fmt.Sprintf("repl_role=%s\nrepl_epoch=%d\nrepl_seq=%d\n",
 				r.role, r.epoch, r.lastApplied) +
-			r.counters.String() + r.gauges.String()
+			r.counters.String() + r.gauges.String() + r.ints.String()
 		resp.Value = []byte(text)
 	}
 	return resp
+}
+
+// PublishTelemetry implements kvnet.TelemetryPublisher: refreshes the
+// store's derived gauges plus the replica's role frontier into the
+// shared registry before a snapshot is taken.
+func (r *Replica) PublishTelemetry() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.store.PublishTelemetry()
+	r.ints.Set("repl.epoch", int64(r.epoch))
+	r.ints.Set("repl.applied_seq", int64(r.lastApplied))
 }
 
 // quorumSeqLocked returns the highest sequence number applied by at
@@ -463,7 +515,11 @@ func (r *Replica) recordAck(epoch uint64, peerID int, seq uint64) {
 			minAck = s
 		}
 	}
-	lag := r.lastApplied - minAck
-	r.gauges.Set("repl.lag", lag)
-	r.gauges.SetMax("repl.lag_max", lag)
+	// Signed gauge: here the delta cannot go negative (minAck never
+	// exceeds lastApplied), but the backup-side writer in stream.go can
+	// observe its own frontier past a stale heartbeat's, and both sites
+	// must feed the same gauge without wrapping.
+	lag := int64(r.lastApplied) - int64(minAck)
+	r.ints.Set("repl.lag", lag)
+	r.ints.SetMax("repl.lag_max", lag)
 }

@@ -440,7 +440,10 @@ func (r *Replica) handleReplConn(conn net.Conn) {
 			r.mu.Lock()
 			behind := m.Seq > r.lastApplied
 			ackSeq := r.lastApplied
-			r.gauges.Set("repl.lag", m.Seq-min64(m.Seq, ackSeq))
+			// Signed: our frontier can be past a stale heartbeat's Seq
+			// (entries applied while the heartbeat was in flight), which
+			// the old unsigned gauge had to clamp away.
+			r.ints.Set("repl.lag", int64(m.Seq)-int64(ackSeq))
 			r.mu.Unlock()
 			if behind {
 				// The cursor passed entries we never saw (drop fault at
@@ -531,7 +534,7 @@ func (r *Replica) applyEntry(m wire.ReplMessage) (ack uint64, gap bool) {
 	}
 	// Apply after logging; a panic still advances the frontier (the
 	// primary assigned the sequence and got the same panic response).
-	resp := r.applyLocalLocked(req)
+	resp := r.applyLocalLocked(req, nil)
 	_ = resp
 	r.lastApplied = m.Seq
 	r.counters.Add("repl.entries_applied", 1)
@@ -549,6 +552,8 @@ func (r *Replica) installSnapshot(buf *bytes.Buffer, snapSeq uint64) error {
 		fresh.Close()
 		return err
 	}
+	// The swapped-in store keeps reporting into the replica's registry.
+	fresh.SetTelemetry(r.tel)
 	r.mu.Lock()
 	old := r.store
 	r.store = fresh
@@ -559,11 +564,4 @@ func (r *Replica) installSnapshot(buf *bytes.Buffer, snapSeq uint64) error {
 	r.counters.Add("repl.snapshots_installed", 1)
 	r.counters.Add("repl.catchup_bytes", uint64(buf.Len()))
 	return nil
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

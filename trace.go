@@ -5,24 +5,35 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"kvdirect/internal/wire"
 )
 
-// Trace recording and replay: a trace file is a sequence of 4-byte
-// little-endian length-prefixed wire packets, each one batch of
-// operations exactly as it would cross the network. Traces captured from
-// a live workload (cmd/kvdload -record) replay deterministically against
-// any store configuration, which is how production KVS teams debug
-// capacity and regression questions — and how this repository's
-// experiments can be re-driven from a fixed op stream.
+// Trace recording and replay: a trace file is a sequence of framed wire
+// packets, each one batch of operations exactly as it would cross the
+// network. Every frame is an 8-byte little-endian header — payload
+// length (u32) then CRC32C of the payload (u32) — followed by the
+// packet, the same framing kvnet uses on the wire, so a bit flip on
+// disk is detected as ErrTraceCorrupt instead of replaying a damaged
+// workload. Traces captured from a live workload (cmd/kvdload -record)
+// replay deterministically against any store configuration, which is
+// how production KVS teams debug capacity and regression questions —
+// and how this repository's experiments can be re-driven from a fixed
+// op stream.
 
 // ErrTraceCorrupt reports a malformed trace file.
 var ErrTraceCorrupt = errors.New("kvdirect: corrupt trace")
 
 // maxTraceFrame bounds one recorded batch (matches kvnet.MaxFrame).
 const maxTraceFrame = 16 << 20
+
+// traceHeaderBytes is the frame header: length u32 | crc32c u32.
+const traceHeaderBytes = 8
+
+// traceCRC is the Castagnoli table, matching kvnet's frame checksum.
+var traceCRC = crc32.MakeTable(crc32.Castagnoli)
 
 // TraceWriter records operation batches to an underlying writer.
 type TraceWriter struct {
@@ -49,8 +60,9 @@ func (t *TraceWriter) Record(ops []Op) error {
 		t.err = fmt.Errorf("kvdirect: trace batch of %d bytes exceeds frame limit", len(pkt))
 		return t.err
 	}
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(pkt)))
+	var hdr [traceHeaderBytes]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(pkt)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(pkt, traceCRC))
 	if _, err := t.w.Write(hdr[:]); err != nil {
 		t.err = err
 		return err
@@ -79,20 +91,23 @@ func (t *TraceWriter) Flush() error {
 func ReplayFunc(r io.Reader, fn func(ops []Op) error) (batches, ops int, err error) {
 	br := bufio.NewReader(r)
 	for {
-		var hdr [4]byte
+		var hdr [traceHeaderBytes]byte
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			if err == io.EOF {
 				return batches, ops, nil
 			}
 			return batches, ops, fmt.Errorf("%w: %v", ErrTraceCorrupt, err)
 		}
-		n := binary.LittleEndian.Uint32(hdr[:])
+		n := binary.LittleEndian.Uint32(hdr[:4])
 		if n > maxTraceFrame {
 			return batches, ops, fmt.Errorf("%w: frame of %d bytes", ErrTraceCorrupt, n)
 		}
 		pkt := make([]byte, n)
 		if _, err := io.ReadFull(br, pkt); err != nil {
 			return batches, ops, fmt.Errorf("%w: %v", ErrTraceCorrupt, err)
+		}
+		if sum := crc32.Checksum(pkt, traceCRC); sum != binary.LittleEndian.Uint32(hdr[4:]) {
+			return batches, ops, fmt.Errorf("%w: frame checksum mismatch", ErrTraceCorrupt)
 		}
 		reqs, err := wire.DecodeRequests(pkt)
 		if err != nil {

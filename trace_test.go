@@ -3,6 +3,7 @@ package kvdirect
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"testing"
 )
@@ -110,17 +111,92 @@ func TestTraceCorruptionDetected(t *testing.T) {
 	}
 	good := buf.Bytes()
 
+	// Each case damages the 8-byte len|crc header or the payload.
+	hugeFrame := append([]byte{0xFF, 0xFF, 0xFF, 0xFF}, good[4:]...)
+	garbage := append([]byte{3, 0, 0, 0, 0, 0, 0, 0}, 9, 9, 9)
 	cases := map[string][]byte{
 		"truncated header": good[:2],
 		"truncated body":   good[:len(good)-2],
-		"huge frame":       append([]byte{0xFF, 0xFF, 0xFF, 0xFF}, good[4:]...),
-		"garbage packet":   append([]byte{3, 0, 0, 0}, 9, 9, 9),
+		"huge frame":       hugeFrame,
+		"garbage packet":   garbage,
 	}
 	for name, data := range cases {
 		s, _ := New(Config{MemoryBytes: 4 << 20})
 		if _, _, _, err := Replay(bytes.NewReader(data), s); err == nil {
 			t.Errorf("%s: replay accepted corrupt trace", name)
 		}
+	}
+}
+
+// traceOneBatch records a single one-op batch and returns the raw bytes.
+func traceOneBatch(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := tw.Record([]Op{{Code: OpPut, Key: []byte("key"), Value: []byte("value")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestTraceReplayTruncatedFrame(t *testing.T) {
+	good := traceOneBatch(t)
+	// Every proper prefix except the full trace (and the empty one,
+	// which is a clean EOF) must fail with ErrTraceCorrupt, whether the
+	// cut lands in the header or the payload.
+	for cut := 1; cut < len(good); cut++ {
+		s, _ := New(Config{MemoryBytes: 4 << 20})
+		batches, _, _, err := Replay(bytes.NewReader(good[:cut]), s)
+		if err == nil {
+			t.Fatalf("cut at %d of %d: replay accepted truncated trace", cut, len(good))
+		}
+		if !errors.Is(err, ErrTraceCorrupt) {
+			t.Fatalf("cut at %d: err = %v, want ErrTraceCorrupt", cut, err)
+		}
+		if batches != 0 {
+			t.Fatalf("cut at %d: %d batches executed from a truncated trace", cut, batches)
+		}
+	}
+}
+
+func TestTraceReplayOversizedFrame(t *testing.T) {
+	good := traceOneBatch(t)
+	// Declare a length just over the frame limit; the reader must
+	// reject it from the header alone instead of allocating 16 MiB+.
+	data := append([]byte(nil), good...)
+	binary.LittleEndian.PutUint32(data[:4], 16<<20+1)
+	s, _ := New(Config{MemoryBytes: 4 << 20})
+	_, _, _, err := Replay(bytes.NewReader(data), s)
+	if !errors.Is(err, ErrTraceCorrupt) {
+		t.Fatalf("oversized frame: err = %v, want ErrTraceCorrupt", err)
+	}
+}
+
+func TestTraceReplayCRCCorruptBatch(t *testing.T) {
+	good := traceOneBatch(t)
+	// Flip one bit in every payload byte position in turn: the frame
+	// length stays right, so only the checksum can catch it.
+	for i := 8; i < len(good); i++ {
+		data := append([]byte(nil), good...)
+		data[i] ^= 0x10
+		s, _ := New(Config{MemoryBytes: 4 << 20})
+		batches, _, _, err := Replay(bytes.NewReader(data), s)
+		if !errors.Is(err, ErrTraceCorrupt) {
+			t.Fatalf("flip at %d: err = %v, want ErrTraceCorrupt", i, err)
+		}
+		if batches != 0 {
+			t.Fatalf("flip at %d: corrupt batch executed", i)
+		}
+	}
+	// A corrupt CRC field itself is equally fatal.
+	data := append([]byte(nil), good...)
+	data[5] ^= 0xFF
+	s, _ := New(Config{MemoryBytes: 4 << 20})
+	if _, _, _, err := Replay(bytes.NewReader(data), s); !errors.Is(err, ErrTraceCorrupt) {
+		t.Fatalf("corrupt crc field: err = %v, want ErrTraceCorrupt", err)
 	}
 }
 
