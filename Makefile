@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-fix test race chaos bench telemetry check clean
+.PHONY: build vet lint lint-fix test race chaos chaos-migrate bench telemetry check clean
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,13 @@ race: vet
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos|TestServerSurvives|TestClientRe|TestNonIdempotent|TestNoReconnect|TestWriteDeadline|TestServerPanic' ./kvnet/
 	$(GO) test -race -count=2 -v -run 'TestFailover|TestPartitioned|TestDropEntry|TestSnapshotCatchup' ./kvrepl/
+
+# Migration chaos: kill the source primary, the destination, and the
+# coordinator mid-migration; assert zero acked-write loss and route
+# convergence. -count=2 shakes out ordering-dependent flakes.
+chaos-migrate:
+	$(GO) test -race -count=2 -v -run 'TestChaosMigration' ./kvnet/
+	$(GO) test -race -count=2 -v -run 'TestMigrate|TestAddReplica|TestRemoveReplica|TestBackupWindowEviction|TestDoubleLeaseExpiry|TestAdopt' ./kvrepl/
 
 bench:
 	$(GO) test -bench=BenchmarkStorePutGet -benchmem -count=5 -run '^$$' ./internal/core/

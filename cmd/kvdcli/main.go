@@ -13,10 +13,22 @@
 //	incr <key> [delta]        atomic fetch-and-add on an 8-byte counter
 //	reduce <key> <add|max>    fold a 4-byte-element vector on the server
 //	register <id> <expr>      compile and install an update λ on the server
-//	stats [-watch] [-raw]     telemetry table (-watch refreshes each
+//	stats [-watch] [-raw] [-http host:port]
+//	                          telemetry table (-watch refreshes each
 //	                          second with live ops/s; -raw dumps the
-//	                          legacy key=value counter text)
+//	                          legacy key=value counter text; -http
+//	                          scrapes a kvdserver -metrics endpoint
+//	                          instead of the data wire, merging every
+//	                          replica and the coordinator)
 //	bench <n>                 time n pipelined PUT+GET pairs
+//
+// Against a replicated kvdserver (-replicas n -admin host:port), the
+// migrate command drives the admin endpoint instead of the data port:
+//
+//	kvdcli -admin host:port migrate <shard>   live-migrate a shard and
+//	                                          watch progress to cutover
+//	kvdcli -admin host:port migrate status    list migrations
+//	kvdcli -admin host:port migrate routes    print the routing table
 package main
 
 import (
@@ -35,7 +47,17 @@ import (
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7890", "server address")
+	admin := flag.String("admin", "", "kvdserver admin address (for the migrate command)")
 	flag.Parse()
+
+	// migrate talks HTTP to the admin endpoint, not the data port —
+	// dispatch it before dialing so it works while routes are in flux.
+	if args := flag.Args(); len(args) > 0 && args[0] == "migrate" {
+		if err := runMigrate(*admin, args[1:]); err != nil {
+			log.Fatalf("kvdcli: %v", err)
+		}
+		return
+	}
 
 	client, err := kvnet.Dial(*addr)
 	if err != nil {
@@ -151,15 +173,22 @@ func run(c *kvnet.Client, args []string) error {
 		fmt.Println("OK")
 
 	case "stats":
-		watch, raw := false, false
-		for _, a := range args[1:] {
-			switch a {
+		watch, raw, httpAddr := false, false, ""
+		rest := args[1:]
+		for i := 0; i < len(rest); i++ {
+			switch rest[i] {
 			case "-watch":
 				watch = true
 			case "-raw":
 				raw = true
+			case "-http":
+				if i+1 >= len(rest) {
+					return fmt.Errorf("usage: stats [-watch] [-raw] [-http host:port]")
+				}
+				i++
+				httpAddr = rest[i]
 			default:
-				return fmt.Errorf("usage: stats [-watch] [-raw]")
+				return fmt.Errorf("usage: stats [-watch] [-raw] [-http host:port]")
 			}
 		}
 		if raw {
@@ -170,7 +199,7 @@ func run(c *kvnet.Client, args []string) error {
 			fmt.Print(text)
 			return nil
 		}
-		return statsTable(c, watch)
+		return statsTable(c, watch, httpAddr)
 
 	case "bench":
 		if len(args) != 2 {

@@ -12,14 +12,26 @@ import (
 	"kvdirect/kvnet"
 )
 
-// statsTable scrapes the server's telemetry over the wire (OpTelemetry)
-// and renders it as a table. With watch it refreshes every second,
-// deriving ops/s from successive scrapes.
-func statsTable(c *kvnet.Client, watch bool) error {
+// statsTable scrapes telemetry and renders it as a table. The scrape
+// goes over the data wire (OpTelemetry) to one server, or — when
+// httpAddr is set — over HTTP from a kvdserver -metrics endpoint's
+// /debug/telemetry, which merges every replica plus the coordinator
+// (the only place migration totals live once a source group is gone).
+// With watch it refreshes every second, deriving ops/s from
+// successive scrapes.
+func statsTable(c *kvnet.Client, watch bool, httpAddr string) error {
+	scrape := func() (telemetry.Snapshot, error) {
+		if httpAddr == "" {
+			return c.ScrapeTelemetry()
+		}
+		var snap telemetry.Snapshot
+		err := getJSON("http://"+httpAddr+"/debug/telemetry", &snap)
+		return snap, err
+	}
 	var prev telemetry.Snapshot
 	var prevAt time.Time
 	for {
-		snap, err := c.ScrapeTelemetry()
+		snap, err := scrape()
 		if err != nil {
 			return err
 		}
@@ -68,6 +80,21 @@ func renderStats(snap, prev telemetry.Snapshot, elapsed time.Duration, havePrev 
 
 	if lag, ok := snap.IntGauges["repl.lag"]; ok {
 		fmt.Fprintf(w, "repl lag\t%d (max %d)\n", lag, snap.IntGauges["repl.lag_max"])
+	}
+
+	// Migration activity, shown only once a migration has run.
+	if started := snap.Counters["repl.migrations"]; started > 0 {
+		fmt.Fprintf(w, "migrations\t%d started  %d completed  %d aborted\n",
+			started, snap.Counters["repl.migrations_completed"], snap.Counters["repl.migrations_aborted"])
+		fmt.Fprintf(w, "migration traffic\t%d entries  %d snapshot(s)  %d catch-up bytes  %d fallbacks\n",
+			snap.Counters["repl.migration_entries"], snap.Counters["repl.snapshots_sent"],
+			snap.Counters["repl.catchup_bytes"], snap.Counters["repl.snapshot_fallbacks"])
+		if lag, ok := snap.IntGauges["repl.migration_lag"]; ok && lag > 0 {
+			fmt.Fprintf(w, "migration lag\t%d entries behind source\n", lag)
+		}
+		if d := snap.Histogram("repl.migration_duration_ns"); d.Count > 0 {
+			fmt.Fprintf(w, "migration duration\tp50 %s  max %s\n", ns(d.P50()), ns(d.Max))
+		}
 	}
 
 	// Fault and resilience counters only when something actually fired,

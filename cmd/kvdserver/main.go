@@ -16,6 +16,13 @@
 // shards over HTTP: Prometheus text on /metrics, the full snapshot
 // (including sampled spans) as JSON on /debug/telemetry. -trace-sample n
 // server-samples one batch in n into the trace ring (0 disables).
+//
+// With -replicas n (n > 1) each shard runs as a kvrepl replica group —
+// n replicas on consecutive ports, an in-process coordinator handling
+// failover — and -admin serves the control surface: GET /routes, GET
+// /migrations, and POST /migrate?shard=N to live-migrate a shard onto a
+// fresh replica group (see kvdcli migrate). In replicated mode -metrics
+// merges every replica and the coordinator into one scrape.
 package main
 
 import (
@@ -43,6 +50,8 @@ func main() {
 	shards := flag.Int("shards", 1, "number of NIC shards (one listener each, like the 10-NIC server)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics and /debug/telemetry on this address (empty disables)")
 	traceSample := flag.Uint64("trace-sample", 0, "server-sample one batch in N for the trace ring (0 disables)")
+	replicas := flag.Int("replicas", 1, "replicas per shard; >1 runs each shard as a kvrepl replica group")
+	adminAddr := flag.String("admin", "", "replicated mode: serve /routes, /migrations and POST /migrate on this address")
 	flag.Parse()
 
 	cfg := kvdirect.Config{
@@ -55,6 +64,22 @@ func main() {
 	}
 	if *shards < 1 {
 		log.Fatalf("kvdserver: -shards must be >= 1")
+	}
+
+	if *replicas > 1 {
+		host, portStr, err := net.SplitHostPort(*addr)
+		if err != nil {
+			log.Fatalf("kvdserver: bad -addr: %v", err)
+		}
+		basePort, err := strconv.Atoi(portStr)
+		if err != nil {
+			log.Fatalf("kvdserver: bad port: %v", err)
+		}
+		runReplicated(host, basePort, *shards, *replicas, cfg, *metricsAddr, *adminAddr)
+		return
+	}
+	if *adminAddr != "" {
+		log.Fatalf("kvdserver: -admin requires replicated mode (-replicas > 1)")
 	}
 
 	cluster, err := kvdirect.NewCluster(*shards, cfg)

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+
+	"kvdirect"
+	"kvdirect/internal/telemetry"
+	"kvdirect/kvnet"
+	"kvdirect/kvrepl"
+)
+
+// replDeployment is kvdserver's replicated mode: every shard is a
+// kvrepl replica group under one in-process coordinator, with an admin
+// HTTP endpoint for routes, migrations and merged metrics.
+type replDeployment struct {
+	coord    *kvrepl.Coordinator
+	cfg      kvdirect.Config
+	opts     kvrepl.Options
+	replicas int
+
+	mu     sync.Mutex
+	groups map[int]*kvrepl.Group // current serving group per shard
+	moved  int                   // destination groups created so far, for node labels
+}
+
+// snapshotFn adapts a closure to kvnet.SnapshotSource so the metrics
+// handler always sees the *current* groups, including mid-migration
+// destinations.
+type snapshotFn func() telemetry.Snapshot
+
+func (f snapshotFn) TelemetrySnapshot() telemetry.Snapshot { return f() }
+
+// runReplicated serves every shard as a replica group and blocks until
+// interrupted.
+func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Config, metricsAddr, adminAddr string) {
+	d := &replDeployment{
+		coord:    kvrepl.NewCoordinator(kvrepl.CoordOptions{}),
+		cfg:      cfg,
+		opts:     kvrepl.Options{},
+		replicas: replicas,
+		groups:   map[int]*kvrepl.Group{},
+	}
+	d.coord.OnRoute(func(shard int, addrs kvnet.ShardAddrs) {
+		log.Printf("kvdserver: shard %d routes to primary %s (backups %v)", shard, addrs.Primary, addrs.Backups)
+	})
+
+	for s := 0; s < shards; s++ {
+		g := &kvrepl.Group{Shard: s}
+		for id := 0; id < replicas; id++ {
+			rcfg := cfg
+			rcfg.Seed = cfg.Seed + uint64(s*replicas+id)*0x9E3779B97F4A7C15
+			clientAddr := net.JoinHostPort(host, strconv.Itoa(basePort+s*replicas+id))
+			r, err := kvrepl.NewReplica(s, id, replicas, rcfg, clientAddr, net.JoinHostPort(host, "0"), d.opts)
+			if err != nil {
+				log.Fatalf("kvdserver: shard %d replica %d: %v", s, id, err)
+			}
+			g.Replicas = append(g.Replicas, r)
+			log.Printf("kvdserver: shard %d replica %d serving %d MiB on %s",
+				s, id, cfg.MemoryBytes>>20, r.ClientAddr())
+		}
+		if err := d.coord.Register(s, g.Members(), 0); err != nil {
+			log.Fatalf("kvdserver: register shard %d: %v", s, err)
+		}
+		d.coord.SetShardNode(s, "node-0")
+		d.groups[s] = g
+	}
+
+	if metricsAddr != "" {
+		serveHTTP("metrics", metricsAddr, kvnet.NewTelemetrySourcesHandler(snapshotFn(d.mergedSnapshot)))
+	}
+	if adminAddr != "" {
+		serveHTTP("admin", adminAddr, d.adminHandler())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+
+	fmt.Println()
+	d.coord.Close()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for s, g := range d.groups {
+		if err := g.Close(); err != nil {
+			log.Printf("kvdserver: close shard %d: %v", s, err)
+		}
+	}
+}
+
+// mergedSnapshot merges every live replica's registry plus the
+// coordinator's (failovers, migrations, migration duration histogram).
+func (d *replDeployment) mergedSnapshot() telemetry.Snapshot {
+	d.mu.Lock()
+	var replicas []*kvrepl.Replica
+	for _, g := range d.groups {
+		for _, r := range g.Replicas {
+			if r.Alive() {
+				replicas = append(replicas, r)
+			}
+		}
+	}
+	d.mu.Unlock()
+	var merged telemetry.Snapshot
+	for _, r := range replicas {
+		merged.Merge(r.TelemetrySnapshot())
+	}
+	merged.Merge(d.coord.TelemetrySnapshot())
+	return merged
+}
+
+type routeJSON struct {
+	Primary string   `json:"primary"`
+	Backups []string `json:"backups"`
+}
+
+func (d *replDeployment) adminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/routes", func(w http.ResponseWriter, r *http.Request) {
+		d.mu.Lock()
+		routes := make(map[string]routeJSON, len(d.groups))
+		for s, g := range d.groups {
+			a := g.ShardAddrs()
+			routes[strconv.Itoa(s)] = routeJSON{Primary: a.Primary, Backups: a.Backups}
+		}
+		d.mu.Unlock()
+		writeJSON(w, routes)
+	})
+	mux.HandleFunc("/migrations", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, d.coord.Migrations())
+	})
+	mux.HandleFunc("/migrate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST /migrate?shard=N", http.StatusMethodNotAllowed)
+			return
+		}
+		shard, err := strconv.Atoi(r.URL.Query().Get("shard"))
+		if err != nil {
+			http.Error(w, "bad shard: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		mig, err := d.migrate(shard)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		writeJSON(w, mig.Status())
+	})
+	return mux
+}
+
+// migrate starts a live migration of shard onto a fresh local replica
+// group; on success the destination becomes the serving group and the
+// fenced old one is torn down.
+func (d *replDeployment) migrate(shard int) (*kvrepl.Migration, error) {
+	d.mu.Lock()
+	old, ok := d.groups[shard]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("shard %d not served here", shard)
+	}
+	destOpts := d.opts
+	destOpts.Seed = int64(shard)*1000 + 7
+	dest, err := kvrepl.NewLocalGroup(shard, d.replicas, d.cfg, destOpts)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.moved++
+	node := fmt.Sprintf("node-%d", d.moved)
+	d.mu.Unlock()
+	mig, err := d.coord.MigrateShard(shard, dest.Target(node))
+	if err != nil {
+		_ = dest.Close()
+		return nil, err
+	}
+	go func() {
+		if werr := mig.Wait(); werr != nil {
+			log.Printf("kvdserver: shard %d migration aborted: %v", shard, werr)
+			_ = dest.Close()
+			return
+		}
+		d.mu.Lock()
+		d.groups[shard] = dest
+		d.coord.SetShardNode(shard, node)
+		d.mu.Unlock()
+		log.Printf("kvdserver: shard %d migrated to %s (primary %s)",
+			shard, node, dest.ShardAddrs().Primary)
+		// The old group is fenced and idle; free its ports.
+		_ = old.Close()
+	}()
+	return mig, nil
+}
+
+func serveHTTP(what, addr string, h http.Handler) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("kvdserver: %s listener: %v", what, err)
+	}
+	log.Printf("kvdserver: %s on http://%s/", what, ln.Addr())
+	go func() {
+		if err := http.Serve(ln, h); err != nil {
+			log.Printf("kvdserver: %s server: %v", what, err)
+		}
+	}()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -70,6 +70,20 @@ const (
 	// the lease and trigger failover while the old primary still lives,
 	// exercising epoch fencing.
 	ReplPartitionPrimary
+	// ReplMigrateStall delays one message on a live shard-migration
+	// stream (snapshot chunk or tail entry), stretching the transfer so
+	// chaos tests can reliably kill nodes mid-migration.
+	ReplMigrateStall
+	// ReplCutoverPartition drops the migration stream's connection during
+	// the fenced cutover window (after the source stops acking writes,
+	// before the destination is installed), forcing the migrator through
+	// its redial-and-resume path at the worst possible moment.
+	ReplCutoverPartition
+	// ReplDestCrash makes the migration destination tear down the inbound
+	// transfer stream mid-apply, simulating a crash-restart of the
+	// receiving replica; the migrator must resume from the destination's
+	// surviving frontier (or re-send the snapshot).
+	ReplDestCrash
 
 	// NumPoints is the number of injection points.
 	NumPoints
@@ -88,6 +102,9 @@ var pointNames = [NumPoints]string{
 	ReplDropEntry:        "repl_drop_entry",
 	ReplStallBackup:      "repl_stall_backup",
 	ReplPartitionPrimary: "repl_partition_primary",
+	ReplMigrateStall:     "repl_migrate_stall",
+	ReplCutoverPartition: "repl_cutover_partition",
+	ReplDestCrash:        "repl_dest_crash",
 }
 
 func (p Point) String() string {

@@ -71,6 +71,7 @@ type Log struct {
 	first   uint64  // seq of entries[0]; meaningful when len(entries) > 0
 	last    uint64  // last appended seq (survives truncation)
 	window  int
+	pinned  uint64 // entries with Seq >= pinned survive truncation; 0 = unpinned
 }
 
 // New returns an empty log retaining at most window entries
@@ -97,12 +98,46 @@ func (l *Log) Append(e Entry) error {
 	l.last = e.Seq
 	if len(l.entries) > l.window {
 		drop := len(l.entries) - l.window
-		// Copy forward instead of re-slicing so dropped packets are
-		// released to the GC rather than pinned by the backing array.
-		l.entries = append(l.entries[:0], l.entries[drop:]...)
-		l.first += uint64(drop)
+		// A pin fences truncation: entries at or above the pinned
+		// sequence stay retained even when the window overflows, so a
+		// live migration's tail handoff never races the evictor. The
+		// window may grow past its capacity while a pin is held.
+		if l.pinned != 0 {
+			limit := 0
+			if l.pinned > l.first {
+				limit = int(l.pinned - l.first)
+			}
+			if drop > limit {
+				drop = limit
+			}
+		}
+		if drop > 0 {
+			// Copy forward instead of re-slicing so dropped packets are
+			// released to the GC rather than pinned by the backing array.
+			l.entries = append(l.entries[:0], l.entries[drop:]...)
+			l.first += uint64(drop)
+		}
 	}
 	return nil
+}
+
+// Pin fences truncation at seq: every retained entry with Seq >= seq
+// survives window overflow until Unpin (or a later Pin) releases it.
+// A migration pins the tail it still has to hand off so a burst of
+// writes cannot evict entries between two shipping rounds. Pinning does
+// not resurrect entries already truncated.
+func (l *Log) Pin(seq uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pinned = seq
+}
+
+// Unpin releases the truncation fence; the next Append trims the log
+// back toward its window.
+func (l *Log) Unpin() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.pinned = 0
 }
 
 // LastSeq returns the highest appended sequence number (0 when nothing

@@ -89,6 +89,69 @@ func TestWindowTruncation(t *testing.T) {
 	}
 }
 
+func TestPinFencesTruncation(t *testing.T) {
+	l := New(5)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := l.Append(entry(t, seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Pin the tail a migration still has to hand off; a burst of appends
+	// may overflow the window but must not evict the pinned range.
+	l.Pin(3)
+	for seq := uint64(6); seq <= 20; seq++ {
+		if err := l.Append(entry(t, seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, ok := l.FirstSeq()
+	if !ok || first != 3 {
+		t.Fatalf("pinned FirstSeq = %d,%v want 3,true", first, ok)
+	}
+	if l.Len() != 18 {
+		t.Fatalf("pinned Len = %d, want 18 (window overflow allowed)", l.Len())
+	}
+	if tail, err := l.Since(2); err != nil || len(tail) != 18 {
+		t.Fatalf("Since(2) under pin: %d entries, %v", len(tail), err)
+	}
+	// Advancing the pin releases the head below it...
+	l.Pin(10)
+	if err := l.Append(entry(t, 21, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if first, _ = l.FirstSeq(); first != 10 {
+		t.Fatalf("after re-pin: FirstSeq = %d, want 10", first)
+	}
+	// ...and Unpin restores plain window behavior on the next append.
+	l.Unpin()
+	if err := l.Append(entry(t, 22, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("after Unpin: Len = %d, want window 5", l.Len())
+	}
+	if _, err := l.Since(9); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Since(9) after Unpin: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestPinDoesNotResurrectTruncated(t *testing.T) {
+	l := New(3)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := l.Append(entry(t, seq, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Seq 2 is long gone; pinning it only protects what is still here.
+	l.Pin(2)
+	if _, err := l.Since(2); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("Since(2): got %v, want ErrTruncated", err)
+	}
+	if first, _ := l.FirstSeq(); first != 8 {
+		t.Fatalf("FirstSeq = %d, want 8", first)
+	}
+}
+
 func TestResetRebases(t *testing.T) {
 	l := New(10)
 	for seq := uint64(1); seq <= 4; seq++ {

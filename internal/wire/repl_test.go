@@ -16,6 +16,8 @@ func TestReplMessageRoundTrip(t *testing.T) {
 		{Kind: ReplSnapshotEnd, Epoch: 7, Seq: 100},
 		{Kind: ReplHeartbeat, Epoch: 7, Seq: 250},
 		{Kind: ReplReject, Epoch: 9, Seq: 0, Payload: []byte("stale epoch 7 < 9")},
+		{Kind: ReplMigrate, Epoch: 9, Seq: 512, Payload: []byte("127.0.0.1:7890")},
+		{Kind: ReplInstall, Epoch: 10, Seq: 600},
 	}
 	for _, m := range msgs {
 		pkt, err := AppendReplMessage(nil, m)

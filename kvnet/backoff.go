@@ -5,11 +5,15 @@ import (
 	"time"
 )
 
-// Backoff computes jittered exponential retry delays: attempt n (1-based)
-// waits Base<<(n-1) capped at Max, ±50% jitter so a fleet of retrying
-// peers doesn't thunder in lockstep. It is the one retry-pacing policy in
-// the system — the client's transport retries and kvrepl's log-stream
-// redials both draw from it.
+// Backoff computes full-jitter exponential retry delays: attempt n
+// (1-based) waits a uniform random duration in [0, Base<<(n-1)], capped
+// at Max. Full jitter (rather than a fixed step ± a margin) is what
+// decorrelates a fleet: after a failover every client re-probes on the
+// same attempt number, and any deterministic component of the delay
+// synchronizes them into retry storms that arrive as one wave. It is
+// the one retry-pacing policy in the system — the client's transport
+// retries, kvrepl's log-stream redials and the shard migrator's
+// resume loop all draw from it.
 //
 // A Backoff is not safe for concurrent use; give each retry loop its own.
 type Backoff struct {
@@ -23,7 +27,8 @@ func NewBackoff(base, max time.Duration, seed int64) *Backoff {
 	return &Backoff{Base: base, Max: max, rng: rand.New(rand.NewSource(seed))}
 }
 
-// Delay returns the wait before retry n (1-based).
+// Delay returns the wait before retry n (1-based): uniform in [0, cap]
+// where cap doubles per attempt from Base up to Max.
 func (b *Backoff) Delay(n int) time.Duration {
 	if n < 1 {
 		n = 1
@@ -35,8 +40,7 @@ func (b *Backoff) Delay(n int) time.Duration {
 	if d <= 0 {
 		return 0
 	}
-	jitter := time.Duration(b.rng.Int63n(int64(d))) - d/2
-	return d + jitter
+	return time.Duration(b.rng.Int63n(int64(d) + 1))
 }
 
 // Sleep blocks for Delay(n).

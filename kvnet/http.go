@@ -7,6 +7,12 @@ import (
 	"kvdirect/internal/telemetry"
 )
 
+// SnapshotSource is anything that can produce a mergeable telemetry
+// snapshot — a Server, a kvrepl.Replica, a kvrepl.Coordinator.
+type SnapshotSource interface {
+	TelemetrySnapshot() telemetry.Snapshot
+}
+
 // NewTelemetryHandler returns an http.Handler exposing the servers'
 // merged telemetry:
 //
@@ -18,9 +24,20 @@ import (
 // mergeable-snapshot path the CLI uses. Snapshots are taken under each
 // server's pipeline lock, so scraping a loaded server is safe.
 func NewTelemetryHandler(servers ...*Server) http.Handler {
+	sources := make([]SnapshotSource, len(servers))
+	for i, s := range servers {
+		sources[i] = s
+	}
+	return NewTelemetrySourcesHandler(sources...)
+}
+
+// NewTelemetrySourcesHandler is NewTelemetryHandler over arbitrary
+// snapshot sources, so a replicated deployment can merge its replicas
+// and its coordinator into one scrape.
+func NewTelemetrySourcesHandler(sources ...SnapshotSource) http.Handler {
 	snapshot := func() telemetry.Snapshot {
 		var merged telemetry.Snapshot
-		for _, s := range servers {
+		for _, s := range sources {
 			merged.Merge(s.TelemetrySnapshot())
 		}
 		return merged

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"kvdirect/internal/stats"
+	"kvdirect/internal/telemetry"
 	"kvdirect/kvnet"
 )
 
@@ -37,8 +38,10 @@ func (o CoordOptions) withDefaults() CoordOptions {
 // quorum acks and dense applied prefixes, is guaranteed to hold every
 // acknowledged write), and republishes routing through OnRoute.
 type Coordinator struct {
-	opts     CoordOptions
-	counters *stats.Counters
+	opts         CoordOptions
+	tel          *telemetry.Registry
+	counters     *stats.Counters
+	migrationDur *telemetry.Histogram
 
 	mu      sync.Mutex
 	groups  map[int]*groupState
@@ -50,27 +53,44 @@ type Coordinator struct {
 }
 
 type groupState struct {
-	members  map[int]*Replica
-	primary  int
-	epoch    uint64
-	lastBeat time.Time
+	members   map[int]*Replica
+	primary   int
+	epoch     uint64
+	lastBeat  time.Time
+	node      string     // planner placement label ("" until SetShardNode)
+	cutover   bool       // mid-cutover: the lease monitor must not interfere
+	migration *Migration // latest migration for this shard (running or terminal)
 }
 
 // NewCoordinator starts the lease monitor.
 func NewCoordinator(opts CoordOptions) *Coordinator {
+	tel := telemetry.NewRegistry()
 	c := &Coordinator{
-		opts:     opts.withDefaults(),
-		counters: stats.NewCounters(),
-		groups:   map[int]*groupState{},
-		stop:     make(chan struct{}),
+		opts:         opts.withDefaults(),
+		tel:          tel,
+		counters:     tel.Counters(),
+		migrationDur: tel.Histogram("repl.migration_duration_ns"),
+		groups:       map[int]*groupState{},
+		stop:         make(chan struct{}),
 	}
 	c.wg.Add(1)
 	go c.monitor()
 	return c
 }
 
-// Counters exposes repl.failovers and repl.failovers_aborted.
+// Counters exposes the control-plane counters: repl.failovers,
+// repl.failovers_aborted, repl.migrations, repl.migrations_completed,
+// repl.migrations_aborted, repl.member_adds and repl.member_removes.
 func (c *Coordinator) Counters() *stats.Counters { return c.counters }
+
+// Telemetry exposes the coordinator's registry (counters plus the
+// repl.migration_duration_ns histogram) for /metrics export.
+func (c *Coordinator) Telemetry() *telemetry.Registry { return c.tel }
+
+// TelemetrySnapshot makes the Coordinator a kvnet.SnapshotSource, so
+// control-plane metrics merge into the same /metrics scrape as the
+// replicas it manages.
+func (c *Coordinator) TelemetrySnapshot() telemetry.Snapshot { return c.tel.Snapshot() }
 
 // OnRoute installs the routing-republish callback, invoked (without the
 // coordinator's lock) at registration and after every failover —
@@ -174,6 +194,14 @@ func (c *Coordinator) checkLeases() {
 	c.mu.Lock()
 	now := time.Now()
 	for shard, g := range c.groups {
+		if g.cutover {
+			// Mid-cutover the destination primary cannot heartbeat yet (it
+			// is promoted only after the install proof); electing over the
+			// swapped-in membership would crown an empty backup and lose
+			// acked writes. The window is bounded: the migration either
+			// finishes the cutover or rolls the group back.
+			continue
+		}
 		if now.Sub(g.lastBeat) <= c.opts.LeaseTimeout {
 			continue
 		}
@@ -220,6 +248,193 @@ func (c *Coordinator) checkLeases() {
 			fn(p.shard, p.addrs)
 		}
 	}
+}
+
+// AddReplica grows shard's group with a fresh backup. The current
+// primary immediately starts shipping its log (snapshot catch-up if the
+// backup is far behind) and the route gains a fallback address. Fails
+// while a migration is in flight — membership must be stable under it.
+func (c *Coordinator) AddReplica(shard, id int, r *Replica) error {
+	if r == nil || !r.Alive() {
+		return fmt.Errorf("kvrepl: add replica %d to shard %d: replica is not alive", id, shard)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: coordinator closed")
+	}
+	g, ok := c.groups[shard]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d not registered", shard)
+	}
+	if g.migration != nil && !g.migration.finished() {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d has a migration in flight", shard)
+	}
+	if _, dup := g.members[id]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d already has member %d", shard, id)
+	}
+	g.members[id] = r
+	r.setBeat(func(shard, _ int) { c.heartbeat(shard, id) })
+	lead := g.members[g.primary]
+	fn := c.onRoute
+	addrs := routeLocked(g)
+	c.counters.Add("repl.member_adds", 1)
+	c.mu.Unlock()
+
+	lead.addPeer(id, r.ReplAddr())
+	if fn != nil {
+		fn(shard, addrs)
+	}
+	return nil
+}
+
+// RemoveReplica shrinks shard's group. Removing a backup just stops its
+// feed; removing the primary first elects the most advanced remaining
+// live member under a bumped epoch and fences the departing primary so
+// straggler clients get redirected. The removed replica is not closed —
+// it belongs to the caller. Fails while a migration is in flight.
+func (c *Coordinator) RemoveReplica(shard, id int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: coordinator closed")
+	}
+	g, ok := c.groups[shard]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d not registered", shard)
+	}
+	if g.migration != nil && !g.migration.finished() {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d has a migration in flight", shard)
+	}
+	old, ok := g.members[id]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d has no member %d", shard, id)
+	}
+	if len(g.members) == 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: cannot remove shard %d's last member", shard)
+	}
+	if id != g.primary {
+		delete(g.members, id)
+		lead := g.members[g.primary]
+		fn := c.onRoute
+		addrs := routeLocked(g)
+		c.counters.Add("repl.member_removes", 1)
+		c.mu.Unlock()
+
+		lead.removePeer(id)
+		if fn != nil {
+			fn(shard, addrs)
+		}
+		return nil
+	}
+	// Removing the primary: elect the most advanced remaining live
+	// member (same rule as failover), then fence the departing one.
+	candID, cand := -1, (*Replica)(nil)
+	var candSeq uint64
+	for mid, m := range g.members {
+		if mid == id || !m.Alive() {
+			continue
+		}
+		seq := m.LastApplied()
+		if cand == nil || seq > candSeq || (seq == candSeq && mid < candID) {
+			candID, cand, candSeq = mid, m, seq
+		}
+	}
+	if cand == nil {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d has no live member to take over from %d", shard, id)
+	}
+	delete(g.members, id)
+	g.epoch++
+	g.primary = candID
+	g.lastBeat = time.Now()
+	epoch := g.epoch
+	peers := peerAddrsLocked(g)
+	fn := c.onRoute
+	addrs := routeLocked(g)
+	c.counters.Add("repl.member_removes", 1)
+	c.mu.Unlock()
+
+	cand.promote(epoch, peers)
+	old.maybeDemote(epoch, cand.ClientAddr())
+	if fn != nil {
+		fn(shard, addrs)
+	}
+	return nil
+}
+
+// Adopt registers a shard whose group is already live — the successor
+// path after a coordinator crash. Unlike Register it does not reset the
+// epoch or promote anyone: it takes the current primary's epoch as the
+// shard's (so fencing keeps working across the control-plane restart)
+// and just resumes lease-watching and routing.
+func (c *Coordinator) Adopt(shard int, members map[int]*Replica, primary int) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: coordinator closed")
+	}
+	if _, dup := c.groups[shard]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d already registered", shard)
+	}
+	lead, ok := members[primary]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d: primary %d is not a member", shard, primary)
+	}
+	if lead.Role() != RolePrimary {
+		c.mu.Unlock()
+		return fmt.Errorf("kvrepl: shard %d: member %d is not the live primary", shard, primary)
+	}
+	g := &groupState{
+		members:  members,
+		primary:  primary,
+		epoch:    lead.Epoch(),
+		lastBeat: time.Now(),
+	}
+	c.groups[shard] = g
+	for id, m := range members {
+		id := id
+		m.setBeat(func(shard, _ int) { c.heartbeat(shard, id) })
+	}
+	fn := c.onRoute
+	addrs := routeLocked(g)
+	c.mu.Unlock()
+
+	if fn != nil {
+		fn(shard, addrs)
+	}
+	return nil
+}
+
+// SetShardNode labels where a shard's group lives, feeding the
+// rebalance planner's load counts.
+func (c *Coordinator) SetShardNode(shard int, node string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g, ok := c.groups[shard]; ok {
+		g.node = node
+	}
+}
+
+// ShardNodes returns the current shard→node placement (shards with no
+// label map to "").
+func (c *Coordinator) ShardNodes() map[int]string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]string, len(c.groups))
+	for shard, g := range c.groups {
+		out[shard] = g.node
+	}
+	return out
 }
 
 // Close stops the monitor. Replicas are not closed — they belong to

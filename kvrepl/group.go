@@ -13,10 +13,11 @@ type Group struct {
 	Replicas []*Replica
 }
 
-// StartGroup builds n replicas for shard on loopback, registers them
-// with coord (replica 0 is the first primary) and returns the group.
-// Each replica gets a distinct store seed, like Cluster shards do.
-func StartGroup(coord *Coordinator, shard, n int, cfg kvdirect.Config, opts Options) (*Group, error) {
+// NewLocalGroup builds n replicas for shard on loopback without
+// registering them anywhere — the raw material for Register (via
+// StartGroup), Coordinator.Adopt, or a MigrationTarget. Each replica
+// gets a distinct store seed, like Cluster shards do.
+func NewLocalGroup(shard, n int, cfg kvdirect.Config, opts Options) (*Group, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("kvrepl: group needs at least one replica, got %d", n)
 	}
@@ -31,11 +32,33 @@ func StartGroup(coord *Coordinator, shard, n int, cfg kvdirect.Config, opts Opti
 		}
 		g.Replicas = append(g.Replicas, r)
 	}
-	members := make(map[int]*Replica, n)
-	for i, r := range g.Replicas {
-		members[i] = r
+	return g, nil
+}
+
+// Members returns the group keyed by replica id, the shape Register,
+// Adopt and MigrationTarget want.
+func (g *Group) Members() map[int]*Replica {
+	members := make(map[int]*Replica, len(g.Replicas))
+	for _, r := range g.Replicas {
+		members[r.ID()] = r
 	}
-	if err := coord.Register(shard, members, 0); err != nil {
+	return members
+}
+
+// Target wraps the group as a migration destination led by its first
+// replica, optionally labeled with the planner node it lives on.
+func (g *Group) Target(node string) MigrationTarget {
+	return MigrationTarget{Members: g.Members(), Primary: g.Replicas[0].ID(), Node: node}
+}
+
+// StartGroup builds n replicas for shard on loopback, registers them
+// with coord (replica 0 is the first primary) and returns the group.
+func StartGroup(coord *Coordinator, shard, n int, cfg kvdirect.Config, opts Options) (*Group, error) {
+	g, err := NewLocalGroup(shard, n, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.Register(shard, g.Members(), 0); err != nil {
 		_ = g.Close() // already failing; the registration error wins
 		return nil, err
 	}

@@ -1,0 +1,97 @@
+package kvrepl
+
+import "sort"
+
+// Move is one planned shard relocation: migrate Shard from node From
+// (possibly "", for an unplaced shard) onto node To.
+type Move struct {
+	Shard int
+	From  string
+	To    string
+}
+
+// PlanRebalance computes the minimal set of shard moves that spreads
+// assign (shard → node, as returned by Coordinator.ShardNodes) evenly
+// over nodes after a join or leave: every surviving node ends within
+// one shard of every other, shards on departed or unknown nodes are
+// rehomed first, and shards that can stay put do. The plan is
+// deterministic — same inputs, same moves — so independent callers
+// converge on one schedule. It only plans; feed each Move to
+// MigrateShard to execute.
+func PlanRebalance(assign map[int]string, nodes []string) []Move {
+	if len(nodes) == 0 {
+		return nil
+	}
+	live := make(map[string]bool, len(nodes))
+	order := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		if !live[n] {
+			live[n] = true
+			order = append(order, n)
+		}
+	}
+	sort.Strings(order)
+
+	load := make(map[string]int, len(order))
+	var orphans []int // shards on departed/unknown nodes, needing a home
+	for shard, node := range assign {
+		if live[node] {
+			load[node]++
+		} else {
+			orphans = append(orphans, shard)
+		}
+	}
+	sort.Ints(orphans)
+
+	// least returns the live node with the lowest load (ties to the
+	// lexicographically first, for determinism).
+	least := func() string {
+		best := ""
+		for _, n := range order {
+			if best == "" || load[n] < load[best] {
+				best = n
+			}
+		}
+		return best
+	}
+	most := func() string {
+		best := ""
+		for _, n := range order {
+			if best == "" || load[n] > load[best] {
+				best = n
+			}
+		}
+		return best
+	}
+
+	var moves []Move
+	// Orphans first: they must move regardless of balance.
+	for _, shard := range orphans {
+		to := least()
+		moves = append(moves, Move{Shard: shard, From: assign[shard], To: to})
+		load[to]++
+	}
+
+	// Level the survivors until max-min ≤ 1, always moving the
+	// lowest-numbered shard off the most loaded node.
+	shardsOn := make(map[string][]int, len(order))
+	for shard, node := range assign {
+		if live[node] {
+			shardsOn[node] = append(shardsOn[node], shard)
+		}
+	}
+	for _, n := range order {
+		sort.Ints(shardsOn[n])
+	}
+	for {
+		from, to := most(), least()
+		if load[from]-load[to] <= 1 {
+			return moves
+		}
+		shard := shardsOn[from][0]
+		shardsOn[from] = shardsOn[from][1:]
+		moves = append(moves, Move{Shard: shard, From: from, To: to})
+		load[from]--
+		load[to]++
+	}
+}

@@ -1,0 +1,98 @@
+package kvrepl
+
+import (
+	"reflect"
+	"testing"
+)
+
+func applyMoves(assign map[int]string, moves []Move) map[int]string {
+	out := make(map[int]string, len(assign))
+	for s, n := range assign {
+		out[s] = n
+	}
+	for _, m := range moves {
+		out[m.Shard] = m.To
+	}
+	return out
+}
+
+func nodeLoads(assign map[int]string) map[string]int {
+	out := map[string]int{}
+	for _, n := range assign {
+		out[n]++
+	}
+	return out
+}
+
+func TestPlanRebalanceBalancedIsNoop(t *testing.T) {
+	assign := map[int]string{0: "a", 1: "b", 2: "a", 3: "b"}
+	if moves := PlanRebalance(assign, []string{"a", "b"}); len(moves) != 0 {
+		t.Fatalf("balanced cluster planned %v, want none", moves)
+	}
+}
+
+func TestPlanRebalanceNodeJoin(t *testing.T) {
+	// 6 shards on 2 nodes; a third joins and must end with 2.
+	assign := map[int]string{0: "a", 1: "a", 2: "a", 3: "b", 4: "b", 5: "b"}
+	moves := PlanRebalance(assign, []string{"a", "b", "c"})
+	final := applyMoves(assign, moves)
+	loads := nodeLoads(final)
+	for _, n := range []string{"a", "b", "c"} {
+		if loads[n] != 2 {
+			t.Fatalf("after join, node %s holds %d shards, want 2 (moves %v)", n, loads[n], moves)
+		}
+	}
+	if len(moves) != 2 {
+		t.Fatalf("join planned %d moves, want the minimal 2: %v", len(moves), moves)
+	}
+}
+
+func TestPlanRebalanceNodeLeave(t *testing.T) {
+	// Node c departs (absent from the live set): its shards are orphans
+	// and must be rehomed evenly across the survivors.
+	assign := map[int]string{0: "a", 1: "b", 2: "c", 3: "c", 4: "a", 5: "b"}
+	moves := PlanRebalance(assign, []string{"a", "b"})
+	final := applyMoves(assign, moves)
+	loads := nodeLoads(final)
+	if loads["c"] != 0 {
+		t.Fatalf("departed node still holds shards: %v", final)
+	}
+	if loads["a"] != 3 || loads["b"] != 3 {
+		t.Fatalf("after leave, loads %v, want a=3 b=3 (moves %v)", loads, moves)
+	}
+	for _, m := range moves {
+		if m.From != "c" {
+			t.Fatalf("leave plan moved a non-orphan shard: %v", m)
+		}
+	}
+}
+
+func TestPlanRebalanceDeterministic(t *testing.T) {
+	assign := map[int]string{0: "a", 1: "a", 2: "a", 3: "a", 4: "b", 5: "x", 6: "x"}
+	nodes := []string{"b", "a", "c", "b"} // unsorted, with a duplicate
+	first := PlanRebalance(assign, nodes)
+	for i := 0; i < 10; i++ {
+		if again := PlanRebalance(assign, nodes); !reflect.DeepEqual(first, again) {
+			t.Fatalf("plan not deterministic: %v vs %v", first, again)
+		}
+	}
+	loads := nodeLoads(applyMoves(assign, first))
+	min, max := 1<<30, 0
+	for _, n := range []string{"a", "b", "c"} {
+		if loads[n] < min {
+			min = loads[n]
+		}
+		if loads[n] > max {
+			max = loads[n]
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("plan left imbalance %v (moves %v)", loads, first)
+	}
+}
+
+func TestPlanRebalanceNoNodes(t *testing.T) {
+	if moves := PlanRebalance(map[int]string{0: "a"}, nil); moves != nil {
+		t.Fatalf("no live nodes should plan nothing, got %v", moves)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kvdirect"
@@ -48,12 +49,17 @@ type Replica struct {
 	lastApplied uint64
 	primaryHint string // current primary's client address, for redirects
 	closed      bool
-	ackWake     chan struct{}       // closed+recreated when acks advance or terms change
-	conns       map[net.Conn]bool   // live inbound replication streams
-	peerAcked   map[int]uint64      // primary: highest seq each backup applied
-	peers       map[int]*peerSync   // primary: live shipping loops
-	beat        func(shard, id int) // coordinator heartbeat sink
-	hbStop      chan struct{}       // stops the current heartbeat loop
+	ackWake     chan struct{}     // closed+recreated when acks advance or terms change
+	conns       map[net.Conn]bool // live inbound replication streams
+	peerAcked   map[int]uint64    // primary: highest seq each backup applied
+	peers       map[int]*peerSync // primary: live shipping loops
+	hbStop      chan struct{}     // stops the current heartbeat loop
+
+	// beat is the coordinator heartbeat sink, deliberately outside mu:
+	// the lease must keep renewing while the data path holds the replica
+	// lock for long stretches (snapshot dumps), or a healthy primary
+	// would be failed over mid-catch-up.
+	beat atomic.Value // of beatFunc
 
 	wg sync.WaitGroup
 }
@@ -150,9 +156,10 @@ func (r *Replica) Alive() bool {
 // Counters exposes the replication counters: repl.entries_shipped,
 // repl.entries_applied, repl.entries_dropped, repl.acks,
 // repl.gap_resyncs, repl.snapshots_sent, repl.snapshots_installed,
-// repl.catchup_bytes, repl.promotions, repl.demotions,
-// repl.not_primary_rejects, repl.epoch_rejects, repl.quorum_failures,
-// repl.apply_panics.
+// repl.snapshot_fallbacks, repl.catchup_bytes, repl.promotions,
+// repl.demotions, repl.not_primary_rejects, repl.epoch_rejects,
+// repl.quorum_failures, repl.apply_panics, repl.installs,
+// repl.migration_entries.
 func (r *Replica) Counters() *stats.Counters { return r.counters }
 
 // Gauges exposes the replica's unsigned gauges (shared with the store's
@@ -170,6 +177,13 @@ func (r *Replica) IntGauges() *stats.IntGauges { return r.ints }
 // its client-facing server.
 func (r *Replica) Telemetry() *telemetry.Registry { return r.tel }
 
+// TelemetrySnapshot snapshots the replica's full registry — store,
+// server and replication — under the server's pipeline lock, making a
+// Replica a kvnet.SnapshotSource for /metrics export.
+func (r *Replica) TelemetrySnapshot() telemetry.Snapshot {
+	return r.clientSrv.TelemetrySnapshot()
+}
+
 // Store exposes the replica's store for inspection. The store is not
 // safe for concurrent use — only read it once the group is quiesced
 // (tests, post-failover verification).
@@ -179,11 +193,13 @@ func (r *Replica) Store() *kvdirect.Store {
 	return r.store
 }
 
+// beatFunc wraps the heartbeat sink for atomic.Value (which needs a
+// consistent concrete type and cannot hold a bare nil func).
+type beatFunc struct{ fn func(shard, id int) }
+
 // setBeat installs the coordinator's heartbeat sink.
 func (r *Replica) setBeat(fn func(shard, id int)) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.beat = fn
+	r.beat.Store(beatFunc{fn})
 }
 
 // Close stops the replica: client server, replication listener, peer
@@ -282,6 +298,57 @@ func (r *Replica) stopPeersLocked() {
 	r.peers = nil
 }
 
+// addPeer starts a shipping loop to a newly added group member at the
+// current term. A no-op unless the replica currently leads — a later
+// promotion rebuilds the peer set from the coordinator's membership.
+func (r *Replica) addPeer(peerID int, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.role != RolePrimary {
+		return
+	}
+	if old := r.peers[peerID]; old != nil {
+		old.stopPeer()
+	}
+	if r.peers == nil {
+		r.peers = map[int]*peerSync{}
+	}
+	p := newPeerSync(r, peerID, addr, r.epoch)
+	r.peers[peerID] = p
+	r.wg.Add(1)
+	go p.run()
+}
+
+// removePeer stops shipping to a departing member and drops its ack
+// from quorum accounting so a removed replica's stale frontier can
+// neither satisfy nor wedge future quorums.
+func (r *Replica) removePeer(peerID int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if p := r.peers[peerID]; p != nil {
+		p.stopPeer()
+		delete(r.peers, peerID)
+	}
+	delete(r.peerAcked, peerID)
+	r.wakeLocked()
+}
+
+// adoptInstall commits a migration on the destination primary: the
+// migrator has proven the shard's final frontier matches ours, so we
+// adopt the fenced cutover epoch and wait for the coordinator's
+// promotion. A frontier mismatch refuses the install — the migrator
+// must keep draining.
+func (r *Replica) adoptInstall(epoch, seq uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.lastApplied != seq || epoch < r.epoch {
+		return false
+	}
+	r.epoch = epoch
+	r.counters.Add("repl.installs", 1)
+	return true
+}
+
 func (r *Replica) startHeartbeatLocked() {
 	r.stopHeartbeatLocked()
 	stop := make(chan struct{})
@@ -313,11 +380,8 @@ func (r *Replica) heartbeatLoop(stop chan struct{}) {
 			if r.faults.Should(fault.ReplPartitionPrimary) {
 				continue
 			}
-			r.mu.Lock()
-			beat := r.beat
-			r.mu.Unlock()
-			if beat != nil {
-				beat(r.shard, r.id)
+			if b, ok := r.beat.Load().(beatFunc); ok && b.fn != nil {
+				b.fn(r.shard, r.id)
 			}
 		}
 	}

@@ -157,6 +157,9 @@ func (p *peerSync) syncOnce() (progressed bool) {
 		}
 		entries, err := p.r.log.Since(sent)
 		if errors.Is(err, repllog.ErrTruncated) {
+			// The backup's lag outran the log window: fall back to a
+			// snapshot install instead of stalling on the missing tail.
+			p.r.counters.Add("repl.snapshot_fallbacks", 1)
 			snapSeq, serr := p.sendSnapshot(conn, bw, br)
 			if serr != nil {
 				return true
@@ -393,9 +396,13 @@ func (r *Replica) handleReplConn(conn net.Conn) {
 	}
 
 	hello, err := recv()
-	if err != nil || hello.Kind != wire.ReplHello {
+	if err != nil || (hello.Kind != wire.ReplHello && hello.Kind != wire.ReplMigrate) {
 		return
 	}
+	// A ReplMigrate hello opens a live shard-migration transfer: the
+	// sender is the source group's primary, not our own, and the stream
+	// may end with a ReplInstall committing the shard to us.
+	isMigration := hello.Kind == wire.ReplMigrate
 	last, herr := r.admitStream(hello)
 	if herr != nil {
 		r.counters.Add("repl.epoch_rejects", 1)
@@ -413,6 +420,12 @@ func (r *Replica) handleReplConn(conn net.Conn) {
 	for {
 		m, err := recv()
 		if err != nil {
+			return
+		}
+		if isMigration && r.faults.Should(fault.ReplDestCrash) {
+			// Simulated crash-restart of the receiving replica: the
+			// stream dies cold mid-apply and the migrator must resume
+			// from whatever frontier survived.
 			return
 		}
 		if cur := r.Epoch(); m.Epoch < cur {
@@ -476,6 +489,20 @@ func (r *Replica) handleReplConn(conn net.Conn) {
 				return
 			}
 			snapBuf = nil
+		case wire.ReplInstall:
+			// Cutover commit: ack only if our applied frontier matches the
+			// shard's fenced final frontier exactly — otherwise the
+			// migrator must keep draining the tail.
+			if !isMigration || !r.adoptInstall(m.Epoch, m.Seq) {
+				_ = send(wire.ReplMessage{
+					Kind: wire.ReplReject, Epoch: r.Epoch(),
+					Payload: []byte("install refused: frontier mismatch"),
+				})
+				return
+			}
+			if err := send(wire.ReplMessage{Kind: wire.ReplAck, Epoch: m.Epoch, Seq: m.Seq}); err != nil {
+				return
+			}
 		default:
 			return
 		}
