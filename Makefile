@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-fix test race chaos chaos-migrate bench telemetry check clean
+.PHONY: build vet lint lint-new lint-fix test race chaos chaos-migrate bench telemetry check clean
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,16 @@ vet:
 
 # Domain-specific invariants: counted memory access, deterministic model
 # code, registry-valid fault points, atomic counter discipline, no
-# dropped status/error results. See DESIGN.md "Static analysis".
+# dropped status/error results, lock ordering, hot-path allocation
+# budgets, and goroutine tie-downs. See DESIGN.md "Static analysis".
 lint:
 	$(GO) run ./cmd/kvdlint ./...
+
+# Only the analyzers added since the last tagged suite — the fast loop
+# while triaging a freshly written analyzer against the tree.
+NEW_ANALYZERS ?= lockorder,hotalloc,gorolifetime
+lint-new:
+	$(GO) run ./cmd/kvdlint -only $(NEW_ANALYZERS) ./...
 
 # Apply the mechanical fixes kvdlint suggests (e.g. clock-derived rand
 # seeds rewritten to constants), then report what remains.

@@ -140,7 +140,7 @@ func printMigrations(migs []migrationStatus) {
 			st.Shard, st.State, st.Epoch, st.CutoverEpoch, st.DestSeq, st.SourceSeq,
 			st.SnapshotBytes, st.Entries, st.Resyncs, time.Duration(st.DurationNs), st.Error)
 	}
-	_ = w.Flush()
+	_ = w.Flush() //lint:allow statuserr -- CLI stdout flush; a write error has nowhere to go
 }
 
 func getJSON(url string, v any) error {

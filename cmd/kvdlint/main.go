@@ -3,17 +3,22 @@
 // compiler cannot see and the simulation's credibility depends on:
 // counted memory access, wall-clock-free model code, registry-valid
 // fault-point names, consistent atomic counter access, no dropped
-// status/error results, and layer.noun[_unit] metric names.
+// status/error results, layer.noun[_unit] metric names, acyclic
+// lock-acquisition orders with no blocking under a lock, allocation-free
+// //kvd:hotpath functions, and goroutines with visible tie-downs.
 //
 // Usage:
 //
-//	kvdlint [-fix] [packages]     # standalone; packages default to ./...
+//	kvdlint [-fix] [-only names] [packages]  # standalone; packages default to ./...
 //	go vet -vettool=$(which kvdlint) ./...   # as a vet tool
 //
 // Exit status is 0 when the tree is clean, 2 when findings were
 // reported, 1 on operational errors. Individual findings can be
 // suppressed with a trailing `//lint:allow <analyzer> -- reason`
-// comment on the offending line or the line above it.
+// comment on the offending line or the line above it; a directive that
+// suppresses nothing is itself reported (staleallow) and deleted by
+// -fix. The -only flag restricts a standalone run to a comma-separated
+// subset of the suite (see `make lint-new`).
 package main
 
 import (
@@ -28,6 +33,9 @@ import (
 	"kvdirect/internal/analysis"
 	"kvdirect/internal/analysis/atomiccounter"
 	"kvdirect/internal/analysis/faultpoint"
+	"kvdirect/internal/analysis/gorolifetime"
+	"kvdirect/internal/analysis/hotalloc"
+	"kvdirect/internal/analysis/lockorder"
 	"kvdirect/internal/analysis/metricname"
 	"kvdirect/internal/analysis/statuserr"
 	"kvdirect/internal/analysis/unaccountedaccess"
@@ -38,10 +46,41 @@ import (
 var Analyzers = []*analysis.Analyzer{
 	atomiccounter.Analyzer,
 	faultpoint.Analyzer,
+	gorolifetime.Analyzer,
+	hotalloc.Analyzer,
+	lockorder.Analyzer,
 	metricname.Analyzer,
 	statuserr.Analyzer,
 	unaccountedaccess.Analyzer,
 	walltime.Analyzer,
+}
+
+// selectAnalyzers filters the suite down to a comma-separated name list
+// (the -only flag); an unknown name is an operational error.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return Analyzers, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range Analyzers {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (kvdlint -analyzers lists the suite)", name)
+		}
+		picked = append(picked, a)
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return picked, nil
 }
 
 func main() {
@@ -54,6 +93,7 @@ func run() int {
 		asJSON   = flag.Bool("json", false, "emit diagnostics as JSON (vet protocol)")
 		version  = flag.String("V", "", "print version and exit (vet handshake)")
 		listOnly = flag.Bool("analyzers", false, "list the analyzers in the suite and exit")
+		only     = flag.String("only", "", "comma-separated analyzer names to run (default: the full suite)")
 		_        = flag.Int("c", -1, "accepted for vet compatibility; ignored")
 	)
 	// cmd/go probes a vettool's flag set with a bare `-flags` argument
@@ -93,10 +133,16 @@ func run() int {
 		return 0
 	}
 
+	suite, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
+		return 1
+	}
+
 	args := flag.Args()
 	// Vet-tool mode: cmd/go invokes the tool with a single *.cfg path.
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		return analysis.RunUnitchecker(Analyzers, args[0], *asJSON)
+		return analysis.RunUnitchecker(suite, args[0], *asJSON)
 	}
 
 	// Standalone mode: load, check, optionally fix.
@@ -105,7 +151,7 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
 		return 1
 	}
-	findings, err := analysis.Run(Analyzers, units)
+	findings, err := analysis.Run(suite, units)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "kvdlint: %v\n", err)
 		return 1

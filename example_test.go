@@ -9,7 +9,7 @@ import (
 
 func ExampleStore() {
 	store, _ := kvdirect.New(kvdirect.Config{MemoryBytes: 16 << 20})
-	_ = store.Put([]byte("answer"), []byte("42"))
+	_ = store.Put([]byte("answer"), []byte("42")) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	v, ok := store.Get([]byte("answer"))
 	fmt.Println(string(v), ok)
 	// Output: 42 true
@@ -30,7 +30,7 @@ func ExampleStore_Reduce() {
 	for i := uint32(0); i < 4; i++ {
 		binary.LittleEndian.PutUint32(vec[i*4:], i+1)
 	}
-	_ = store.Put([]byte("v"), vec)
+	_ = store.Put([]byte("v"), vec) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	sum, _ := store.Reduce([]byte("v"), kvdirect.FnAdd, 4, 0)
 	fmt.Println(sum)
 	// Output: 10
@@ -42,9 +42,9 @@ func ExampleStore_UpdateScalarToVector() {
 	for i := uint32(0); i < 3; i++ {
 		binary.LittleEndian.PutUint32(vec[i*4:], i)
 	}
-	_ = store.Put([]byte("v"), vec)
+	_ = store.Put([]byte("v"), vec) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	// One network op updates every element on the NIC.
-	_, _ = store.UpdateScalarToVector([]byte("v"), kvdirect.FnAdd, 4, 100)
+	_, _ = store.UpdateScalarToVector([]byte("v"), kvdirect.FnAdd, 4, 100) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	now, _ := store.Get([]byte("v"))
 	fmt.Println(binary.LittleEndian.Uint32(now), binary.LittleEndian.Uint32(now[4:]))
 	// Output: 100 101
@@ -54,7 +54,7 @@ func ExampleStore_CompareAndSwap() {
 	store, _ := kvdirect.New(kvdirect.Config{MemoryBytes: 16 << 20})
 	b := make([]byte, 8)
 	binary.LittleEndian.PutUint64(b, 1)
-	_ = store.Put([]byte("lock"), b)
+	_ = store.Put([]byte("lock"), b) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	_, swapped, _ := store.CompareAndSwap([]byte("lock"), 8, 1, 2)
 	_, again, _ := store.CompareAndSwap([]byte("lock"), 8, 1, 3)
 	fmt.Println(swapped, again)
@@ -65,9 +65,9 @@ func ExampleStore_RegisterExpression() {
 	store, _ := kvdirect.New(kvdirect.Config{MemoryBytes: 16 << 20})
 	// Compile a user-defined λ (the §3.2 active-message path): a counter
 	// that saturates at 100.
-	_ = store.RegisterExpression(42, "min(v + p, 100)")
+	_ = store.RegisterExpression(42, "min(v + p, 100)") //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	for i := 0; i < 30; i++ {
-		_, _ = store.Update([]byte("capped"), 42, 8, 7)
+		_, _ = store.Update([]byte("capped"), 42, 8, 7) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	}
 	v, _ := store.Get([]byte("capped"))
 	fmt.Println(binary.LittleEndian.Uint64(v))
@@ -91,7 +91,7 @@ func ExampleCluster() {
 	// Ten stores = the paper's ten-NIC server; keys shard by hash.
 	cluster, _ := kvdirect.NewCluster(10, kvdirect.Config{MemoryBytes: 4 << 20})
 	for i := 0; i < 100; i++ {
-		_ = cluster.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		_ = cluster.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v")) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	}
 	fmt.Println(cluster.NumKeys(), cluster.NumShards())
 	// Output: 100 10

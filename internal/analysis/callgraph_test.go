@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/types"
+	"testing"
+)
+
+func TestCallGraphAndPropagation(t *testing.T) {
+	u := loadTestUnit(t, map[string]string{
+		"g.go": `package testunit
+
+func leaf() {}
+
+func mid() { leaf() }
+
+//kvd:hotpath
+func top() {
+	mid()
+	go spun()          // async: not a synchronous callee
+	f := func() { leaf() } // closure body: not attributed to top
+	f()
+}
+
+func spun() { leaf() }
+`,
+	})
+	pass := &Pass{Fset: u.Fset, Files: u.Files, Pkg: u.Pkg, TypesInfo: u.TypesInfo}
+	g := BuildCallGraph(pass)
+
+	byName := map[string]*types.Func{}
+	for fn := range g.Decls {
+		byName[fn.Name()] = fn
+	}
+	for _, name := range []string{"leaf", "mid", "top", "spun"} {
+		if byName[name] == nil {
+			t.Fatalf("declared function %s missing from graph", name)
+		}
+	}
+	callees := func(name string) map[string]bool {
+		out := map[string]bool{}
+		for _, c := range g.Callees[byName[name]] {
+			out[c.Name()] = true
+		}
+		return out
+	}
+	if c := callees("top"); !c["mid"] || c["spun"] || c["leaf"] {
+		t.Errorf("top callees = %v, want exactly {mid}: go targets and closure bodies excluded", c)
+	}
+	if c := callees("mid"); !c["leaf"] {
+		t.Errorf("mid callees = %v, want leaf", c)
+	}
+
+	// Summaries seeded at the leaf must reach top transitively.
+	local := map[*types.Func]map[string]bool{byName["leaf"]: {"allocates": true}}
+	closed := PropagateSets(g, local)
+	if !closed[byName["mid"]]["allocates"] {
+		t.Error("leaf's summary did not propagate to mid")
+	}
+	if !closed[byName["top"]]["allocates"] {
+		t.Error("leaf's summary did not propagate transitively to top")
+	}
+	if closed[byName["spun"]]["allocates"] != true {
+		t.Error("spun calls leaf synchronously; summary should propagate")
+	}
+
+	if !HasDirective(g.Decls[byName["top"]].Doc, "kvd:hotpath") {
+		t.Error("top's //kvd:hotpath directive not detected")
+	}
+	if HasDirective(g.Decls[byName["mid"]].Doc, "kvd:hotpath") {
+		t.Error("mid has no directive; detected one anyway")
+	}
+
+	order := g.SortedFuncs()
+	for i, want := range []string{"leaf", "mid", "top", "spun"} {
+		if order[i].Name() != want {
+			t.Fatalf("SortedFuncs[%d] = %s, want %s (declaration order)", i, order[i].Name(), want)
+		}
+	}
+}

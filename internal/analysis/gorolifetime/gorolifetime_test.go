@@ -1,0 +1,17 @@
+package gorolifetime_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/gorolifetime"
+)
+
+func TestGorolifetime(t *testing.T) {
+	analysistest.Run(t, gorolifetime.Analyzer,
+		// Untied goroutines: every launch fires.
+		analysistest.Package{Dir: "testdata/leaky", Path: "kvdirect/internal/leakyfix"},
+		// Context / channel / WaitGroup / connection tie-downs: silent.
+		analysistest.Package{Dir: "testdata/tied", Path: "kvdirect/internal/tiedfix"},
+	)
+}

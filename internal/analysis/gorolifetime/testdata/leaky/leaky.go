@@ -1,0 +1,37 @@
+// Fixture for goroutines launched with no tie-down.
+package leaky
+
+import "time"
+
+type pump struct {
+	n    uint64
+	stop chan struct{}
+}
+
+func (p *pump) work() { p.n++ }
+
+// spin loops forever with nothing an owner could use to end it.
+func (p *pump) spin() {
+	for {
+		p.work()
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (p *pump) start() {
+	go p.spin() // want "goroutine has no tie-down"
+	go func() { // want "goroutine has no tie-down"
+		for {
+			p.work()
+		}
+	}()
+	// Calling a helper that is itself untied does not help.
+	go func() { // want "goroutine has no tie-down"
+		p.spin()
+	}()
+}
+
+// delayedLeak documents a deliberate fire-and-forget: the allow path.
+func (p *pump) delayedLeak() {
+	go p.spin() //lint:allow gorolifetime -- fixture: deliberate fire-and-forget, documented
+}

@@ -1,0 +1,75 @@
+// Fixture for goroutines with a visible tie-down: zero diagnostics.
+package tied
+
+import (
+	"bufio"
+	"context"
+	"net"
+	"sync"
+)
+
+type worker struct {
+	stop  chan struct{}
+	tasks chan func()
+	wg    sync.WaitGroup
+	n     uint64
+}
+
+// loop selects on a stop channel.
+func (w *worker) loop() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case t := <-w.tasks:
+			t()
+		}
+	}
+}
+
+func (w *worker) start(ctx context.Context, conn net.Conn) {
+	go w.loop() // stop-channel select through the summary
+
+	go func() { // direct channel range
+		for t := range w.tasks {
+			t()
+		}
+	}()
+
+	w.wg.Add(1)
+	go func() { // WaitGroup Done
+		defer w.wg.Done()
+		w.n++
+	}()
+
+	go func() { // context reference
+		<-ctx.Done()
+	}()
+
+	go func() { // dies with the connection
+		r := bufio.NewReader(conn)
+		for {
+			if _, err := r.ReadByte(); err != nil {
+				return
+			}
+			w.n++
+		}
+	}()
+
+	go serveConn(conn) // connection handed in as an argument
+
+	var f func()
+	f = w.bump
+	go f() // dynamic target: trusted
+}
+
+func serveConn(c net.Conn) {
+	buf := make([]byte, 1)
+	for {
+		if _, err := c.Read(buf); err != nil {
+			return
+		}
+	}
+}
+
+func (w *worker) bump() { w.n++ }

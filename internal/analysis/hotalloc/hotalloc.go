@@ -1,0 +1,307 @@
+// Package hotalloc flags heap allocations reachable from functions
+// annotated `//kvd:hotpath`.
+//
+// KV-Direct's performance claim rests on the per-operation path doing a
+// bounded number of memory accesses and no incidental heap work: the
+// paper's NIC pipeline has no allocator to fall back on, and the
+// reproduction's benchmarks assert 0 allocs/op for the telemetry-off
+// paths. An allocation that creeps into Apply, the serve loop, or a
+// telemetry fast path is a silent throughput regression the compiler
+// happily accepts. Annotating a function with a `//kvd:hotpath` doc
+// directive declares "this function stays off the allocator"; the
+// analyzer then flags allocation sites inside it and calls to
+// same-package functions that allocate transitively.
+//
+// Flagged sites: taking the address of a composite literal, new, make,
+// append (growth reallocates), map composite literals, conversions
+// between string and []byte/[]rune, fmt.* calls, function literals
+// (closure allocation), go statements, iterating a map (the hidden
+// iterator), boxing a concrete value into an interface parameter, and
+// calls to same-package functions whose bodies allocate. Deliberate
+// allocations — a sampled tracer span, a fault-path error value — are
+// documented in place with //lint:allow hotalloc and a reason.
+//
+// The analyzer is site-syntactic, not an escape analysis: it
+// over-approximates (a non-escaping make may be stack-allocated) in
+// exchange for being readable, deterministic, and dependency-free. The
+// benchmark suite remains the ground truth; the annotation keeps the
+// ground truth from drifting.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kvdirect/internal/analysis"
+)
+
+// Directive is the doc-comment tag that marks a function as a hot path.
+const Directive = "kvd:hotpath"
+
+// Analyzer is the hotalloc pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flag heap allocations reachable from //kvd:hotpath functions (0 allocs/op invariant)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	g := analysis.BuildCallGraph(pass)
+
+	// Transitive "what does calling this allocate" summaries for every
+	// declared function, so a hot function's call into a same-package
+	// helper is flagged at the call site.
+	local := map[*types.Func]map[string]bool{}
+	for fn, decl := range g.Decls {
+		set := map[string]bool{}
+		sites(pass.TypesInfo, decl.Body, func(_ token.Pos, what string) {
+			set[what] = true
+		})
+		local[fn] = set
+	}
+	summary := analysis.PropagateSets(g, local)
+
+	for _, fn := range g.SortedFuncs() {
+		decl := g.Decls[fn]
+		if !analysis.HasDirective(decl.Doc, Directive) {
+			continue
+		}
+		sites(pass.TypesInfo, decl.Body, func(pos token.Pos, what string) {
+			pass.Reportf(pos, "hot path allocates: %s (hoist it off the per-op path, or //lint:allow hotalloc with a reason)", what)
+		})
+		// Same-package calls with allocating summaries.
+		classify(decl.Body, func(n ast.Node) {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			callee := analysis.CalleeFunc(pass.TypesInfo, call)
+			if callee == nil {
+				return
+			}
+			if _, declared := g.Decls[callee]; !declared {
+				return
+			}
+			if len(summary[callee]) == 0 {
+				return
+			}
+			pass.Reportf(call.Pos(), "hot path allocates: call to %s allocates (%s)",
+				analysis.FuncName(callee), reasonList(summary[callee]))
+		})
+	}
+	return nil
+}
+
+// reasonList renders a summary set compactly, capped at three reasons.
+func reasonList(set map[string]bool) string {
+	reasons := make([]string, 0, len(set))
+	for r := range set {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	if len(reasons) > 3 {
+		reasons = append(reasons[:3], "...")
+	}
+	return strings.Join(reasons, "; ")
+}
+
+// classify visits root skipping nested function literal bodies and go
+// statement calls — their cost is attributed to the literal / statement
+// itself, which sites reports as a single allocation.
+func classify(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// sites walks body and emits every syntactic allocation site.
+func sites(info *types.Info, body *ast.BlockStmt, emit func(token.Pos, string)) {
+	classifyEmit := func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					emit(n.Pos(), "address of composite literal escapes to the heap")
+				}
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(n); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					emit(n.Pos(), "map literal allocates")
+				}
+			}
+		case *ast.FuncLit:
+			emit(n.Pos(), "function literal allocates a closure")
+		case *ast.GoStmt:
+			emit(n.Pos(), "go statement allocates a goroutine")
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					emit(n.Pos(), "map iteration allocates its iterator")
+				}
+			}
+		case *ast.CallExpr:
+			callSites(info, n, emit)
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			classifyEmit(n)
+			return false // the literal's body runs on its invoker's stack
+		case *ast.GoStmt:
+			classifyEmit(n)
+			for _, arg := range n.Call.Args {
+				ast.Inspect(arg, func(m ast.Node) bool {
+					if m != nil {
+						classifyEmit(m)
+					}
+					return true
+				})
+			}
+			return false
+		}
+		if n != nil {
+			classifyEmit(n)
+		}
+		return true
+	})
+}
+
+// callSites emits the allocations implied by one call expression:
+// builtins, conversions, fmt, and interface boxing of arguments.
+func callSites(info *types.Info, call *ast.CallExpr, emit func(token.Pos, string)) {
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "new":
+				emit(call.Pos(), "new allocates")
+			case "make":
+				emit(call.Pos(), "make allocates")
+			case "append":
+				emit(call.Pos(), "append may grow and reallocate its backing array")
+			}
+			return
+		}
+	}
+	// Conversions that copy: string <-> []byte/[]rune.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type.Underlying()
+		from := info.TypeOf(call.Args[0])
+		if from != nil {
+			switch {
+			case isByteOrRuneSlice(to):
+				if isString(from.Underlying()) {
+					emit(call.Pos(), "conversion from string copies into a fresh slice")
+				}
+			case isString(to):
+				if isByteOrRuneSlice(from.Underlying()) {
+					emit(call.Pos(), "conversion to string copies the bytes")
+				}
+			}
+		}
+		return
+	}
+	// fmt formats into fresh heap buffers, boxes every operand.
+	if fn := analysis.CalleeFunc(info, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		emit(call.Pos(), "fmt."+fn.Name()+" allocates its formatted output")
+		return
+	}
+	// Interface boxing of concrete arguments.
+	sig, ok := typeOfFun(info, call).(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		param := paramAt(sig, i, call.Ellipsis.IsValid())
+		if param == nil || !types.IsInterface(param) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.Type == nil || at.Value != nil { // constants are interned or cheap
+			continue
+		}
+		if boxes(at.Type) {
+			emit(arg.Pos(), "argument boxes a "+at.Type.String()+" into an interface parameter")
+		}
+	}
+}
+
+func typeOfFun(info *types.Info, call *ast.CallExpr) types.Type {
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+		return tv.Type.Underlying()
+	}
+	return nil
+}
+
+// paramAt resolves the i-th argument's parameter type, unrolling
+// variadics; a `f(xs...)` spread passes the slice through unboxed.
+func paramAt(sig *types.Signature, i int, spread bool) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		if spread {
+			return nil
+		}
+		last := sig.Params().At(n - 1).Type()
+		if s, ok := last.Underlying().(*types.Slice); ok {
+			return s.Elem()
+		}
+		return nil
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+// boxes reports whether storing a value of concrete type t in an
+// interface heap-allocates. Pointer-shaped values (pointers, channels,
+// maps, funcs, unsafe pointers) fit in the interface word; booleans and
+// nil-able things stay out of scope to keep the signal clean.
+func boxes(t types.Type) bool {
+	if types.IsInterface(t) {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		switch u.Kind() {
+		case types.Bool, types.UntypedBool, types.UntypedNil, types.Invalid:
+			return false
+		}
+		return true
+	case *types.Struct, *types.Array, *types.Slice:
+		return true
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}

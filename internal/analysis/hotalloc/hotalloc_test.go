@@ -1,0 +1,17 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/hotalloc"
+)
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, hotalloc.Analyzer,
+		// Annotated functions with every flagged allocation shape.
+		analysistest.Package{Dir: "testdata/hot", Path: "kvdirect/internal/hotfix"},
+		// Allocation-free hot paths and unannotated allocators: silent.
+		analysistest.Package{Dir: "testdata/cold", Path: "kvdirect/internal/coldfix"},
+	)
+}

@@ -1,0 +1,52 @@
+// Fixture for hotalloc negatives: allocation-free hot paths stay
+// silent, and unannotated functions may allocate freely.
+package cold
+
+import "fmt"
+
+type counter struct {
+	buckets [64]uint64
+	n       uint64
+}
+
+//kvd:hotpath
+func (c *counter) observe(v uint64) {
+	idx := v & 63
+	c.buckets[idx]++
+	c.n++
+}
+
+//kvd:hotpath
+func (c *counter) total() uint64 {
+	var sum uint64
+	for _, b := range c.buckets { // array range: no iterator allocation
+		sum += b
+	}
+	return sum
+}
+
+//kvd:hotpath
+func (c *counter) pick(flag bool) uint64 {
+	// Pointer-shaped and boolean arguments do not box.
+	use(c)
+	use(flag)
+	use(nil)
+	return c.n
+}
+
+func use(v interface{}) { _ = v }
+
+// report is unannotated: every allocation below is out of scope.
+func (c *counter) report() string {
+	m := map[string]uint64{"n": c.n}
+	parts := make([]string, 0, len(m))
+	for k, v := range m {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, v))
+	}
+	return fmt.Sprint(parts)
+}
+
+//kvd:hotpath
+func (c *counter) chain() uint64 {
+	return c.total() // calls a clean hot function: no summary finding
+}

@@ -1,0 +1,652 @@
+// Package lockorder audits the replication and network layers' mutex
+// discipline: it builds a per-package lock-acquisition graph and flags
+// (1) cyclic acquisition orders — the classic AB/BA deadlock — and
+// (2) potentially unbounded blocking operations performed while a lock
+// is held: network I/O, channel sends/receives, bare selects, waits,
+// and store-wide callbacks of the Store.Dump class.
+//
+// The invariant comes straight from the failure mode that motivated it:
+// kvrepl once held a replica's mutex across a multi-megabyte Store.Dump
+// while the lease heartbeat needed the same lock, so a slow snapshot
+// failed over a healthy primary. "Reliable Replication Protocols on
+// SmartNICs"-style interleavings are exactly where offload protocols
+// die; a linter that refuses lock-held blocking keeps the next such bug
+// out of the tree. Blocking under a lock that is deliberate (e.g. a
+// consistent dump that must freeze the store) is documented in place
+// with //lint:allow lockorder and a reason.
+//
+// The analysis is intra-package and flow-approximate: it tracks
+// Lock/Unlock pairs linearly through each function (restoring state
+// across early-returning branches), propagates "acquires" and "blocks"
+// summaries through the static same-package call graph, and treats lock
+// identity at the granularity of the declared field or variable (two
+// instances of one struct share a lock name — which is what an
+// acquisition *order* is about). Function literals are analyzed as
+// independent bodies: a closure runs on its invoker's stack, not its
+// definer's.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"kvdirect/internal/analysis"
+)
+
+// AuditedPackages scopes the analyzer to the lock-heavy protocol
+// layers. Model packages are single-goroutine by construction and the
+// cmd/ binaries hold no locks worth ordering.
+var AuditedPackages = map[string]bool{
+	"kvdirect/kvrepl":           true,
+	"kvdirect/kvnet":            true,
+	"kvdirect/internal/repllog": true,
+}
+
+// Analyzer is the lockorder pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "flag cyclic lock-acquisition orders and blocking operations performed under a lock (replication-liveness invariant)",
+	Run:  run,
+}
+
+// lockKey identifies a lock at declaration granularity: the struct
+// field or variable holding the sync.Mutex/RWMutex.
+type lockKey = *types.Var
+
+// edge is one observed acquired-while-holding pair.
+type edge struct {
+	pos      token.Pos
+	from, to string
+}
+
+type pkgState struct {
+	pass  *analysis.Pass
+	graph *analysis.CallGraph
+
+	// Transitive summaries per declared function.
+	acquires map[*types.Func]map[lockKey]bool
+	blocks   map[*types.Func]map[string]bool
+
+	names map[lockKey]string
+	edges map[lockKey]map[lockKey]edge
+}
+
+func run(pass *analysis.Pass) error {
+	if !AuditedPackages[pass.Pkg.Path()] {
+		return nil
+	}
+	st := &pkgState{
+		pass:  pass,
+		graph: analysis.BuildCallGraph(pass),
+		names: map[lockKey]string{},
+		edges: map[lockKey]map[lockKey]edge{},
+	}
+
+	// Pass 1: local summaries, closed over the call graph.
+	localAcq := map[*types.Func]map[lockKey]bool{}
+	localBlk := map[*types.Func]map[string]bool{}
+	for fn, decl := range st.graph.Decls {
+		acq, blk := st.localSummary(decl.Body)
+		localAcq[fn] = acq
+		localBlk[fn] = blk
+	}
+	st.acquires = analysis.PropagateSets(st.graph, localAcq)
+	st.blocks = analysis.PropagateSets(st.graph, localBlk)
+
+	// Pass 2: walk each function (and each function literal as its own
+	// body) tracking held locks, recording edges and reporting lock-held
+	// blocking.
+	for _, fn := range st.graph.SortedFuncs() {
+		st.walkBody(st.graph.Decls[fn].Body)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				st.walkBody(lit.Body)
+			}
+			return true
+		})
+	}
+
+	st.reportCycles()
+	return nil
+}
+
+// localSummary collects the locks a body acquires and the blocking
+// operations it performs, excluding nested function literals.
+func (st *pkgState) localSummary(body *ast.BlockStmt) (map[lockKey]bool, map[string]bool) {
+	acq := map[lockKey]bool{}
+	blk := map[string]bool{}
+	classify(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if v, _, kind := st.lockTarget(n); kind == opLock {
+				acq[v] = true
+			} else if why := st.blockingCall(n); why != "" {
+				blk[why] = true
+			}
+		case *ast.SendStmt:
+			blk["channel send"] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				blk["channel receive"] = true
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				blk["select"] = true
+			}
+		case *ast.RangeStmt:
+			if st.isChanType(n.X) {
+				blk["channel receive"] = true
+			}
+		}
+	})
+	return acq, blk
+}
+
+// classify visits every node of root, skipping the bodies of nested
+// function literals (a closure runs on its invoker's stack), functions
+// launched by go statements (they block their own goroutine), and the
+// comm clauses of select statements (a comm only executes once the
+// select chose it; the select as a whole is the blocking decision
+// point, classified separately). Select case bodies are still visited.
+func classify(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.GoStmt:
+			return false
+		case *ast.SelectStmt:
+			fn(n)
+			for _, c := range n.Body.List {
+				for _, s := range c.(*ast.CommClause).Body {
+					classify(s, fn)
+				}
+			}
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+const (
+	opNone = iota
+	opLock
+	opUnlock
+)
+
+// lockTarget classifies call as a Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex or sync.RWMutex and resolves the lock's identity.
+func (st *pkgState) lockTarget(call *ast.CallExpr) (lockKey, string, int) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", opNone
+	}
+	var kind int
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		kind = opLock
+	case "Unlock", "RUnlock":
+		kind = opUnlock
+	default:
+		return nil, "", opNone
+	}
+	fn := analysis.CalleeFunc(st.pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", opNone
+	}
+	v, name := st.resolveLockExpr(sel.X)
+	if v == nil {
+		return nil, "", opNone
+	}
+	if st.names[v] == "" {
+		st.names[v] = name
+	}
+	return v, st.names[v], kind
+}
+
+// resolveLockExpr resolves the mutex-valued expression to its declared
+// variable and a display name ("Replica.mu" for fields, the identifier
+// for variables).
+func (st *pkgState) resolveLockExpr(e ast.Expr) (lockKey, string) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := st.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return v, e.Name
+		}
+	case *ast.SelectorExpr:
+		if s, ok := st.pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			v, _ := s.Obj().(*types.Var)
+			if v == nil {
+				return nil, ""
+			}
+			name := v.Name()
+			if recv := namedOf(s.Recv()); recv != nil {
+				name = recv.Obj().Name() + "." + name
+			}
+			return v, name
+		}
+	}
+	return nil, ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// slowStoreCallbacks are whole-store operations whose duration scales
+// with the keyspace: holding a mutex across one stalls every other
+// path needing that lock (the pre-PR-6 lease-lapse bug).
+var slowStoreCallbacks = map[string]bool{"Dump": true, "Load": true, "Scrub": true}
+
+// blockingCall classifies calls into external code that can block
+// unboundedly; returns a short description or "".
+func (st *pkgState) blockingCall(call *ast.CallExpr) string {
+	info := st.pass.TypesInfo
+	for _, name := range []string{"Dial", "DialTimeout", "Listen"} {
+		if analysis.IsPkgFunc(info, call, "net", name) {
+			return "net." + name
+		}
+	}
+	for _, name := range []string{"ReadFull", "ReadAll", "Copy", "CopyN"} {
+		if analysis.IsPkgFunc(info, call, "io", name) {
+			return "io." + name
+		}
+	}
+	if analysis.IsPkgFunc(info, call, "time", "Sleep") {
+		return "time.Sleep"
+	}
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return ""
+	}
+	recv := namedOf(sig.Recv().Type())
+	recvName := ""
+	if recv != nil {
+		recvName = recv.Obj().Name()
+	}
+	switch fn.Pkg().Path() {
+	case "net":
+		switch fn.Name() {
+		case "Read", "Write", "Accept":
+			return "network I/O (" + recvName + "." + fn.Name() + ")"
+		}
+	case "bufio":
+		switch fn.Name() {
+		case "Read", "ReadByte", "ReadRune", "ReadString", "ReadBytes", "ReadSlice", "Peek", "Flush":
+			return "buffered stream read/flush (bufio." + recvName + "." + fn.Name() + ")"
+		}
+	case "sync":
+		if fn.Name() == "Wait" && (recvName == "WaitGroup" || recvName == "Cond") {
+			return "sync." + recvName + ".Wait"
+		}
+	case "kvdirect/internal/core":
+		if recvName == "Store" && slowStoreCallbacks[fn.Name()] {
+			return "store-wide callback (Store." + fn.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// isChanType reports whether e's static type is a channel.
+func (st *pkgState) isChanType(e ast.Expr) bool {
+	tv, ok := st.pass.TypesInfo.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isChan := tv.Type.Underlying().(*types.Chan)
+	return isChan
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- held-lock walk ----
+
+type heldLock struct {
+	v    lockKey
+	name string
+	pos  token.Pos
+}
+
+type walker struct {
+	st   *pkgState
+	held []heldLock
+}
+
+func (st *pkgState) walkBody(body *ast.BlockStmt) {
+	w := &walker{st: st}
+	w.stmts(body.List)
+}
+
+func (w *walker) holding(v lockKey) bool {
+	for _, h := range w.held {
+		if h.v == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *walker) release(v lockKey) {
+	for i := len(w.held) - 1; i >= 0; i-- {
+		if w.held[i].v == v {
+			w.held = append(w.held[:i:i], w.held[i+1:]...)
+			return
+		}
+	}
+}
+
+func (w *walker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// stmt advances the held-lock state through one statement, scanning its
+// expressions for lock operations and blocking constructs.
+func (w *walker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		w.stmts(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		w.scan(s.Cond)
+		w.branch(s.Body)
+		if s.Else != nil {
+			w.branch(s.Else)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond)
+		}
+		w.branch(s.Body)
+		if s.Post != nil {
+			w.stmt(s.Post)
+		}
+	case *ast.RangeStmt:
+		if w.st.isChanType(s.X) {
+			w.blockingOp(s.Pos(), "channel receive (range)")
+		}
+		w.scan(s.X)
+		w.branch(s.Body)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag)
+		}
+		for _, c := range s.Body.List {
+			w.branch(&ast.BlockStmt{List: c.(*ast.CaseClause).Body})
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			w.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			w.branch(&ast.BlockStmt{List: c.(*ast.CaseClause).Body})
+		}
+	case *ast.SelectStmt:
+		if !selectHasDefault(s) {
+			w.blockingOp(s.Pos(), "select")
+		}
+		for _, c := range s.Body.List {
+			cc := c.(*ast.CommClause)
+			w.branch(&ast.BlockStmt{List: cc.Body})
+		}
+	case *ast.GoStmt:
+		// The goroutine's body blocks its own stack; launching is free.
+		// Arguments evaluated now are still scanned.
+		for _, arg := range s.Call.Args {
+			w.scan(arg)
+		}
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end, which
+		// the linear walk models by simply not releasing it. Other
+		// deferred work runs during unwinding and is out of scope.
+	case *ast.LabeledStmt:
+		w.stmt(s.Stmt)
+	default:
+		w.scan(s)
+	}
+}
+
+// branch walks a conditional body with the current held set, restoring
+// it afterwards when the branch cannot fall through (early return /
+// goto-like exits would otherwise leak their lock state into the
+// straight-line path).
+func (w *walker) branch(body ast.Stmt) {
+	snapshot := append([]heldLock(nil), w.held...)
+	w.stmt(body)
+	if terminates(body) {
+		w.held = snapshot
+	}
+}
+
+// terminates reports whether the statement (or the last statement of a
+// block) definitely leaves the enclosing function or loop.
+func terminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+			return true
+		}
+	case *ast.BlockStmt:
+		if n := len(s.List); n > 0 {
+			return terminates(s.List[n-1])
+		}
+	}
+	return false
+}
+
+// scan processes one straight-line statement or expression: lock
+// transitions, direct blocking constructs, and calls whose summaries
+// acquire or block.
+func (w *walker) scan(n ast.Node) {
+	classify(n, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			w.call(n)
+		case *ast.SendStmt:
+			w.blockingOp(n.Arrow, "channel send")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				w.blockingOp(n.Pos(), "channel receive")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				w.blockingOp(n.Pos(), "select")
+			}
+		}
+	})
+}
+
+func (w *walker) call(call *ast.CallExpr) {
+	st := w.st
+	if v, name, kind := st.lockTarget(call); kind != opNone {
+		switch kind {
+		case opLock:
+			if w.holding(v) {
+				st.pass.Reportf(call.Pos(),
+					"%s is acquired while already held (recursive acquisition deadlocks on the same instance)", name)
+				return
+			}
+			for _, h := range w.held {
+				w.addEdge(h, v, name, call.Pos())
+			}
+			w.held = append(w.held, heldLock{v: v, name: name, pos: call.Pos()})
+		case opUnlock:
+			w.release(v)
+		}
+		return
+	}
+	if len(w.held) == 0 {
+		return
+	}
+	if why := st.blockingCall(call); why != "" {
+		w.blockingOp(call.Pos(), why)
+		return
+	}
+	// Same-package callee: bring in its summary.
+	fn := analysis.CalleeFunc(st.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if _, ok := st.graph.Decls[fn]; !ok {
+		return
+	}
+	for v := range st.acquires[fn] {
+		if w.holding(v) {
+			st.pass.Reportf(call.Pos(),
+				"call to %s re-acquires %s, which is already held here (deadlock)",
+				analysis.FuncName(fn), st.names[v])
+			continue
+		}
+		for _, h := range w.held {
+			w.addEdge(h, v, st.names[v], call.Pos())
+		}
+	}
+	if len(st.blocks[fn]) > 0 {
+		reasons := make([]string, 0, len(st.blocks[fn]))
+		for r := range st.blocks[fn] {
+			reasons = append(reasons, r)
+		}
+		sort.Strings(reasons)
+		innermost := w.held[len(w.held)-1]
+		st.pass.Reportf(call.Pos(),
+			"call to %s may block (%s) while %s is held; move the call outside the critical section",
+			analysis.FuncName(fn), strings.Join(reasons, ", "), innermost.name)
+	}
+}
+
+func (w *walker) blockingOp(pos token.Pos, why string) {
+	if len(w.held) == 0 {
+		return
+	}
+	innermost := w.held[len(w.held)-1]
+	w.st.pass.Reportf(pos,
+		"blocking operation (%s) while %s is held; move it outside the critical section",
+		why, innermost.name)
+}
+
+func (w *walker) addEdge(from heldLock, to lockKey, toName string, pos token.Pos) {
+	if from.v == to {
+		return
+	}
+	m := w.st.edges[from.v]
+	if m == nil {
+		m = map[lockKey]edge{}
+		w.st.edges[from.v] = m
+	}
+	if _, ok := m[to]; !ok {
+		m[to] = edge{pos: pos, from: from.name, to: toName}
+	}
+}
+
+// reportCycles finds cycles in the acquired-while-holding graph and
+// reports each once, at its lexicographically first edge.
+func (st *pkgState) reportCycles() {
+	// Deterministic node order.
+	nodes := make([]lockKey, 0, len(st.edges))
+	for v := range st.edges {
+		nodes = append(nodes, v)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return st.names[nodes[i]] < st.names[nodes[j]] })
+
+	reported := map[string]bool{}
+	var path []lockKey
+	onPath := map[lockKey]bool{}
+	var dfs func(v lockKey)
+	dfs = func(v lockKey) {
+		path = append(path, v)
+		onPath[v] = true
+		nexts := make([]lockKey, 0, len(st.edges[v]))
+		for n := range st.edges[v] {
+			nexts = append(nexts, n)
+		}
+		sort.Slice(nexts, func(i, j int) bool { return st.names[nexts[i]] < st.names[nexts[j]] })
+		for _, n := range nexts {
+			if onPath[n] {
+				st.reportCycle(append(cycleFrom(path, n), n), reported)
+				continue
+			}
+			dfs(n)
+		}
+		onPath[v] = false
+		path = path[:len(path)-1]
+	}
+	for _, v := range nodes {
+		dfs(v)
+	}
+}
+
+// cycleFrom extracts the path suffix beginning at node n.
+func cycleFrom(path []lockKey, n lockKey) []lockKey {
+	for i, v := range path {
+		if v == n {
+			return append([]lockKey(nil), path[i:]...)
+		}
+	}
+	return nil
+}
+
+func (st *pkgState) reportCycle(cycle []lockKey, reported map[string]bool) {
+	if len(cycle) < 2 {
+		return
+	}
+	// Canonicalize: rotate so the smallest name leads (the closing
+	// duplicate is dropped and re-added).
+	ring := cycle[:len(cycle)-1]
+	min := 0
+	for i := range ring {
+		if st.names[ring[i]] < st.names[ring[min]] {
+			min = i
+		}
+	}
+	rot := append(append([]lockKey(nil), ring[min:]...), ring[:min]...)
+	parts := make([]string, 0, len(rot)+1)
+	for _, v := range rot {
+		parts = append(parts, st.names[v])
+	}
+	parts = append(parts, st.names[rot[0]])
+	key := strings.Join(parts, "->")
+	if reported[key] {
+		return
+	}
+	reported[key] = true
+	first := st.edges[rot[0]][rot[1]]
+	st.pass.Reportf(first.pos,
+		"lock acquisition cycle %s (deadlock risk); acquire these locks in one global order",
+		strings.Join(parts, " -> "))
+}

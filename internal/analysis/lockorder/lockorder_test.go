@@ -1,0 +1,20 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"kvdirect/internal/analysis/analysistest"
+	"kvdirect/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer,
+		// Audited package: lock-held blocking (including the pre-PR-6
+		// dump-under-mu heartbeat pattern) and an AB/BA cycle all fire.
+		analysistest.Package{Dir: "testdata/repl", Path: "kvdirect/kvrepl"},
+		// Audited package, disciplined locking: zero diagnostics.
+		analysistest.Package{Dir: "testdata/netclean", Path: "kvdirect/kvnet"},
+		// Non-audited package with the same violations: scope gate holds.
+		analysistest.Package{Dir: "testdata/unscoped", Path: "kvdirect/internal/unscoped"},
+	)
+}

@@ -1,0 +1,101 @@
+// Fixture impersonating kvdirect/kvnet: disciplined locking that must
+// produce zero lockorder diagnostics.
+package netclean
+
+import (
+	"bytes"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu      sync.Mutex
+	statsMu sync.Mutex
+	queue   chan []byte
+	conns   int
+	drops   int
+}
+
+// snapshotThenSend copies under the lock and blocks only after the
+// unlock: the pattern the analyzer is steering everything toward.
+func (s *server) snapshotThenSend() {
+	s.mu.Lock()
+	n := s.conns
+	s.mu.Unlock()
+	s.queue <- []byte{byte(n)} // blocking after unlock: fine
+}
+
+// tryDrain uses a select with a default: non-blocking by construction,
+// even under the lock.
+func (s *server) tryDrain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case b := <-s.queue:
+		s.conns += len(b)
+	default:
+		s.drops++
+	}
+}
+
+// orderedLocks always acquires mu before statsMu: a consistent order
+// builds edges but no cycle.
+func (s *server) orderedLocks() {
+	s.mu.Lock()
+	s.statsMu.Lock()
+	s.drops++
+	s.statsMu.Unlock()
+	s.mu.Unlock()
+}
+
+func (s *server) orderedAgain() int {
+	s.mu.Lock()
+	s.statsMu.Lock()
+	n := s.conns + s.drops
+	s.statsMu.Unlock()
+	s.mu.Unlock()
+	return n
+}
+
+// earlyReturn releases the lock on the error path; the fall-through
+// path must not inherit the branch's lock state.
+func (s *server) earlyReturn(fail bool) error {
+	s.mu.Lock()
+	if fail {
+		s.mu.Unlock()
+		return errFailed
+	}
+	s.conns++
+	s.mu.Unlock()
+	time.Sleep(time.Millisecond) // lock released on every path: fine
+	return nil
+}
+
+var errFailed = errorString("failed")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// spawnWorker launches a goroutine under the lock: the goroutine blocks
+// its own stack, not the critical section.
+func (s *server) spawnWorker() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		for b := range s.queue {
+			_ = b
+		}
+	}()
+	s.conns++
+}
+
+// buffered writes to an in-memory buffer under the lock: bytes.Buffer
+// is not a blocking sink.
+func (s *server) buffered() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var buf bytes.Buffer
+	buf.WriteString("stats")
+	return buf.Bytes()
+}

@@ -1,0 +1,130 @@
+// Fixture impersonating kvdirect/kvrepl: lock-held blocking operations
+// and cyclic acquisition orders that lockorder must flag.
+package repl
+
+import (
+	"bytes"
+	"sync"
+	"time"
+
+	"kvdirect"
+)
+
+// replica mirrors the shape of kvrepl.Replica closely enough to
+// reproduce the pre-PR-6 lease-lapse bug: the snapshot path held r.mu
+// across a full store dump while the heartbeat path needed the same
+// lock, so a multi-megabyte dump starved the heartbeat and failed over
+// a healthy primary.
+type replica struct {
+	mu    sync.Mutex
+	seq   uint64
+	store *kvdirect.Store
+	ready chan struct{}
+	acks  chan uint64
+}
+
+// sendSnapshot is the pre-PR-6 dump-under-mu heartbeat pattern.
+func (r *replica) sendSnapshot() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var buf bytes.Buffer
+	_, err := r.store.Dump(&buf) // want "blocking operation \\(store-wide callback \\(Store.Dump\\)\\) while replica.mu is held"
+	return buf.Bytes(), err
+}
+
+// heartbeat needs r.mu too — with sendSnapshot holding it across the
+// dump, the lease lapses. The heartbeat itself is clean.
+func (r *replica) heartbeat() uint64 {
+	r.mu.Lock()
+	beat := r.seq
+	r.mu.Unlock()
+	return beat
+}
+
+func (r *replica) notify() {
+	r.mu.Lock()
+	r.acks <- r.seq // want "blocking operation \\(channel send\\) while replica.mu is held"
+	r.mu.Unlock()
+}
+
+func (r *replica) await() {
+	r.mu.Lock()
+	<-r.ready // want "blocking operation \\(channel receive\\) while replica.mu is held"
+	r.mu.Unlock()
+}
+
+func (r *replica) throttle() {
+	r.mu.Lock()
+	time.Sleep(time.Millisecond) // want "blocking operation \\(time.Sleep\\) while replica.mu is held"
+	r.mu.Unlock()
+}
+
+// waitPeer blocks on its own; calling it under the lock must be
+// reported at the call site through the transitive summary.
+func (r *replica) waitPeer() {
+	<-r.ready
+}
+
+func (r *replica) resync() {
+	r.mu.Lock()
+	r.waitPeer() // want "call to replica.waitPeer may block \\(channel receive\\) while replica.mu is held"
+	r.mu.Unlock()
+}
+
+// lockedBump acquires r.mu itself; calling it with r.mu already held
+// self-deadlocks.
+func (r *replica) lockedBump() {
+	r.mu.Lock()
+	r.seq++
+	r.mu.Unlock()
+}
+
+func (r *replica) doubleLock() {
+	r.mu.Lock()
+	r.lockedBump() // want "call to replica.lockedBump re-acquires replica.mu, which is already held here \\(deadlock\\)"
+	r.mu.Unlock()
+}
+
+func (r *replica) recursive() {
+	r.mu.Lock()
+	r.mu.Lock() // want "replica.mu is acquired while already held \\(recursive acquisition deadlocks on the same instance\\)"
+	r.mu.Unlock()
+	r.mu.Unlock()
+}
+
+// pair holds two locks acquired in both orders: the classic AB/BA
+// deadlock the acquisition graph must close into a cycle.
+type pair struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+	a   int
+	b   int
+}
+
+func (p *pair) sumAB() int {
+	p.amu.Lock()
+	p.bmu.Lock() // want "lock acquisition cycle pair.amu -> pair.bmu -> pair.amu \\(deadlock risk\\)"
+	s := p.a + p.b
+	p.bmu.Unlock()
+	p.amu.Unlock()
+	return s
+}
+
+func (p *pair) sumBA() int {
+	p.bmu.Lock()
+	p.amu.Lock()
+	s := p.a + p.b
+	p.amu.Unlock()
+	p.bmu.Unlock()
+	return s
+}
+
+// frozenDump documents a deliberate lock-held dump: the suppression
+// path every real exemption uses.
+func (r *replica) frozenDump() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var buf bytes.Buffer
+	r.store.Dump(&buf) //lint:allow lockorder,statuserr -- fixture: deliberate frozen snapshot
+	return buf.Bytes()
+}

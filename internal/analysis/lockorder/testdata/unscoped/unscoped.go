@@ -1,0 +1,21 @@
+// Fixture under a path outside AuditedPackages: the same violations the
+// repl fixture flags must stay silent here — the analyzer is scoped to
+// the lock-heavy protocol layers.
+package unscoped
+
+import (
+	"sync"
+	"time"
+)
+
+type widget struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (w *widget) blockUnderLock() {
+	w.mu.Lock()
+	w.ch <- 1                    // out of scope: no diagnostic
+	time.Sleep(time.Millisecond) // out of scope: no diagnostic
+	w.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
 	"go/token"
 	"os"
 	"regexp"
@@ -22,11 +23,30 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: %s (%s)", f.Position, f.Diagnostic.Message, f.Analyzer.Name)
 }
 
+// StaleAllow is the runner's own pass: a `//lint:allow <name>` directive
+// that suppressed nothing is dead weight — it documents an exemption
+// that no longer exists and will silently swallow the next real finding
+// at that site. The runner reports such directives after every analyzer
+// in the run has had its chance to be suppressed; `kvdlint -fix` deletes
+// the stale directive (or prunes the stale names from a multi-name one).
+// Only names of analyzers that actually ran are judged, so running a
+// subset of the suite (kvdlint -only, analysistest) never declares the
+// other analyzers' directives stale.
+var StaleAllow = &Analyzer{
+	Name: "staleallow",
+	Doc:  "flag //lint:allow directives that no longer suppress anything (dead exemptions)",
+}
+
 // Run applies every analyzer to every unit, returning the surviving
 // findings sorted by position. Sites annotated with a matching
 // `//lint:allow <name>` directive (same line or the line above) are
-// dropped.
+// dropped; directives that drop nothing are themselves reported under
+// the staleallow pseudo-analyzer.
 func Run(analyzers []*Analyzer, units []*Unit) ([]Finding, error) {
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var findings []Finding
 	for _, u := range units {
 		allowed := collectAllows(u)
@@ -49,6 +69,25 @@ func Run(analyzers []*Analyzer, units []*Unit) ([]Finding, error) {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, u.ID, err)
 			}
 		}
+		for _, d := range allowed.directives {
+			stale := d.staleNames(ran)
+			if len(stale) == 0 {
+				continue
+			}
+			pos := u.Fset.Position(d.comment.Pos())
+			findings = append(findings, Finding{
+				Analyzer: StaleAllow,
+				Position: pos,
+				Fset:     u.Fset,
+				Diagnostic: Diagnostic{
+					Pos: d.comment.Pos(),
+					End: d.comment.End(),
+					Message: fmt.Sprintf("//lint:allow %s suppresses nothing here; delete the stale directive",
+						strings.Join(stale, ",")),
+					SuggestedFixes: []SuggestedFix{d.fix(stale)},
+				},
+			})
+		}
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i].Position, findings[j].Position
@@ -69,12 +108,25 @@ func Run(analyzers []*Analyzer, units []*Unit) ([]Finding, error) {
 // allowRe matches `//lint:allow name1,name2 -- optional reason`.
 var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+([A-Za-z0-9_,]+)(\s|$|--)`)
 
-// allowSet records, per file and line, the analyzer names allowed there.
-type allowSet map[string]map[int][]string
+// directive is one parsed //lint:allow comment with its usage record.
+type directive struct {
+	comment *ast.Comment
+	file    string
+	line    int
+	names   []string
+	used    map[string]bool // names that suppressed at least one diagnostic
+}
+
+// allowSet records a unit's //lint:allow directives, indexed by file and
+// line for the suppression check.
+type allowSet struct {
+	directives []*directive
+	byLine     map[string]map[int][]*directive
+}
 
 // collectAllows scans a unit's comments for //lint:allow directives.
-func collectAllows(u *Unit) allowSet {
-	set := allowSet{}
+func collectAllows(u *Unit) *allowSet {
+	set := &allowSet{byLine: map[string]map[int][]*directive{}}
 	for _, f := range u.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -83,34 +135,98 @@ func collectAllows(u *Unit) allowSet {
 					continue
 				}
 				pos := u.Fset.Position(c.Pos())
-				lines := set[pos.Filename]
-				if lines == nil {
-					lines = map[int][]string{}
-					set[pos.Filename] = lines
+				d := &directive{
+					comment: c,
+					file:    pos.Filename,
+					line:    pos.Line,
+					names:   strings.Split(m[1], ","),
+					used:    map[string]bool{},
 				}
-				names := strings.Split(m[1], ",")
-				lines[pos.Line] = append(lines[pos.Line], names...)
+				set.directives = append(set.directives, d)
+				lines := set.byLine[d.file]
+				if lines == nil {
+					lines = map[int][]*directive{}
+					set.byLine[d.file] = lines
+				}
+				lines[d.line] = append(lines[d.line], d)
 			}
 		}
 	}
 	return set
 }
 
-// match reports whether analyzer name is allowed at pos: a directive on
-// the same line (trailing comment) or the line directly above.
-func (s allowSet) match(name string, pos token.Position) bool {
-	lines := s[pos.Filename]
+// match reports whether analyzer name is allowed at pos — a directive on
+// the same line (trailing comment) or the line directly above — and
+// records the suppression against the directive.
+func (s *allowSet) match(name string, pos token.Position) bool {
+	lines := s.byLine[pos.Filename]
 	if lines == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, n := range lines[line] {
-			if n == name || n == "all" {
-				return true
+		for _, d := range lines[line] {
+			for _, n := range d.names {
+				if n == name || n == "all" {
+					d.used[n] = true
+					return true
+				}
 			}
 		}
 	}
 	return false
+}
+
+// staleNames returns the directive's names that suppressed nothing,
+// restricted to analyzers that actually ran. An "all" directive is
+// judged against the run as a whole: stale only when nothing at the site
+// was suppressed at all.
+func (d *directive) staleNames(ran map[string]bool) []string {
+	var stale []string
+	for _, n := range d.names {
+		switch {
+		case n == "all":
+			if len(d.used) == 0 {
+				stale = append(stale, n)
+			}
+		case ran[n] && !d.used[n]:
+			stale = append(stale, n)
+		}
+	}
+	return stale
+}
+
+// fix builds the suggested rewrite for a directive's stale names: drop
+// the whole comment when every name is stale, otherwise rewrite the name
+// list keeping the live ones (and the trailing reason).
+func (d *directive) fix(stale []string) SuggestedFix {
+	staleSet := map[string]bool{}
+	for _, n := range stale {
+		staleSet[n] = true
+	}
+	var live []string
+	for _, n := range d.names {
+		if !staleSet[n] {
+			live = append(live, n)
+		}
+	}
+	if len(live) == 0 {
+		return SuggestedFix{
+			Message: "delete the stale //lint:allow directive",
+			TextEdits: []TextEdit{{
+				Pos: d.comment.Pos(), End: d.comment.End(), NewText: nil,
+			}},
+		}
+	}
+	// Splice the surviving names into the original comment text, keeping
+	// the prefix style and the reason suffix.
+	idx := allowRe.FindStringSubmatchIndex(d.comment.Text)
+	text := d.comment.Text[:idx[2]] + strings.Join(live, ",") + d.comment.Text[idx[3]:]
+	return SuggestedFix{
+		Message: "drop the stale names from the //lint:allow directive",
+		TextEdits: []TextEdit{{
+			Pos: d.comment.Pos(), End: d.comment.End(), NewText: []byte(text),
+		}},
+	}
 }
 
 // ApplyFixes applies the first suggested fix of each finding to the

@@ -4,6 +4,7 @@ import (
 	"go/token"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -33,13 +34,7 @@ func TestAllowDirectiveParsing(t *testing.T) {
 			continue
 		}
 		got := m[1]
-		want := ""
-		for i, n := range c.names {
-			if i > 0 {
-				want += ","
-			}
-			want += n
-		}
+		want := strings.Join(c.names, ",")
 		if got != want {
 			t.Errorf("%q: names %q, want %q", c.comment, got, want)
 		}
@@ -47,10 +42,12 @@ func TestAllowDirectiveParsing(t *testing.T) {
 }
 
 func TestAllowSetMatch(t *testing.T) {
-	s := allowSet{
-		"f.go": {
-			10: {"walltime"},
-			20: {"all"},
+	d1 := &directive{file: "f.go", line: 10, names: []string{"walltime"}, used: map[string]bool{}}
+	d2 := &directive{file: "f.go", line: 20, names: []string{"all"}, used: map[string]bool{}}
+	s := &allowSet{
+		directives: []*directive{d1, d2},
+		byLine: map[string]map[int][]*directive{
+			"f.go": {10: {d1}, 20: {d2}},
 		},
 	}
 	at := func(line int) token.Position { return token.Position{Filename: "f.go", Line: line} }
@@ -71,6 +68,164 @@ func TestAllowSetMatch(t *testing.T) {
 	}
 	if s.match("walltime", token.Position{Filename: "other.go", Line: 10}) {
 		t.Error("directive leaked across files")
+	}
+	if !d1.used["walltime"] {
+		t.Error("suppression was not recorded against the directive")
+	}
+	if !d2.used["all"] {
+		t.Error("'all' suppression was not recorded against the directive")
+	}
+}
+
+// loadTestUnit writes the sources (name -> content) into a temp dir and
+// loads them as one fixture package.
+func loadTestUnit(t *testing.T, files map[string]string) *Unit {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	u, err := LoadFixture(dir, "kvdirect/internal/analysis/testunit")
+	if err != nil {
+		t.Fatalf("loading test unit: %v", err)
+	}
+	return u
+}
+
+// TestRunOrdering locks in the diagnostic sort contract — (file, line,
+// column, analyzer) — so multi-analyzer CI output diffs stay stable no
+// matter the registration order.
+func TestRunOrdering(t *testing.T) {
+	u := loadTestUnit(t, map[string]string{
+		"a.go": "package testunit\n\nfunc A() {}\n",
+		"b.go": "package testunit\n\nfunc B() {}\n",
+	})
+	reportAll := func(p *Pass) error {
+		for _, f := range p.Files {
+			p.Reportf(f.Package, "hit from %s", p.Analyzer.Name)
+		}
+		return nil
+	}
+	// Registered deliberately out of alphabetical order: the sort, not
+	// the registration order, must decide ties at one position.
+	zeta := &Analyzer{Name: "zeta", Doc: "test", Run: reportAll}
+	alpha := &Analyzer{Name: "alpha", Doc: "test", Run: reportAll}
+	findings, err := Run([]*Analyzer{zeta, alpha}, []*Unit{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 4 {
+		t.Fatalf("got %d findings, want 4", len(findings))
+	}
+	type key struct{ file, analyzer string }
+	var got []key
+	for _, f := range findings {
+		got = append(got, key{filepath.Base(f.Position.Filename), f.Analyzer.Name})
+	}
+	want := []key{
+		{"a.go", "alpha"}, {"a.go", "zeta"},
+		{"b.go", "alpha"}, {"b.go", "zeta"},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d = %v, want %v (full order: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// noiseAt returns an analyzer that reports one diagnostic on each line
+// of the file whose number is in lines.
+func noiseAt(name string, lines ...int) *Analyzer {
+	return &Analyzer{Name: name, Doc: "test", Run: func(p *Pass) error {
+		for _, f := range p.Files {
+			tf := p.Fset.File(f.Pos())
+			for _, line := range lines {
+				p.Reportf(tf.LineStart(line), "noise")
+			}
+		}
+		return nil
+	}}
+}
+
+func TestStaleAllowReporting(t *testing.T) {
+	u := loadTestUnit(t, map[string]string{
+		"p.go": `package testunit
+
+func F() {
+	_ = 1 //lint:allow fake -- this one is exercised
+	_ = 2 //lint:allow fake -- stale: fake reports nothing here
+	_ = 3 //lint:allow other -- other is not in this run
+}
+`,
+	})
+	findings, err := Run([]*Analyzer{noiseAt("fake", 4)}, []*Unit{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want exactly the one stale directive: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != StaleAllow {
+		t.Errorf("finding attributed to %s, want staleallow", f.Analyzer.Name)
+	}
+	if f.Position.Line != 5 {
+		t.Errorf("stale directive reported at line %d, want 5", f.Position.Line)
+	}
+	if !strings.Contains(f.Diagnostic.Message, "fake") {
+		t.Errorf("message %q does not name the stale analyzer", f.Diagnostic.Message)
+	}
+
+	// -fix deletes the stale directive and only it.
+	if n, err := ApplyFixes(findings); err != nil || n != 1 {
+		t.Fatalf("ApplyFixes = %d, %v; want 1, nil", n, err)
+	}
+	src, err := os.ReadFile(f.Position.Filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(src), "stale: fake reports nothing") {
+		t.Error("stale directive survived -fix")
+	}
+	if !strings.Contains(string(src), "this one is exercised") {
+		t.Error("-fix deleted a live directive")
+	}
+	if !strings.Contains(string(src), "other is not in this run") {
+		t.Error("-fix deleted a directive for an analyzer outside the run")
+	}
+}
+
+func TestStaleAllowPartialNames(t *testing.T) {
+	u := loadTestUnit(t, map[string]string{
+		"p.go": `package testunit
+
+func F() {
+	_ = 1 //lint:allow fake,dead -- fake fires, dead does not
+}
+`,
+	})
+	findings, err := Run([]*Analyzer{noiseAt("fake", 4), noiseAt("dead")}, []*Unit{u})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	msg := findings[0].Diagnostic.Message
+	if !strings.Contains(msg, "dead") || strings.Contains(msg, "fake,") {
+		t.Errorf("stale message %q should name only the dead analyzer", msg)
+	}
+	if n, err := ApplyFixes(findings); err != nil || n != 1 {
+		t.Fatalf("ApplyFixes = %d, %v; want 1, nil", n, err)
+	}
+	src, err := os.ReadFile(findings[0].Position.Filename)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(src), "//lint:allow fake -- fake fires, dead does not") {
+		t.Errorf("partial fix did not keep the live name: %s", src)
 	}
 }
 

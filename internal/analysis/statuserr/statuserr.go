@@ -9,9 +9,14 @@
 // damaged state — the exact "silent corruption" the store's no-silent-
 // corruption contract exists to prevent. This analyzer flags statement
 // calls (including `go` statements) whose results include an error or a
-// wire.Response. Explicitly assigning to `_` remains a visible,
-// greppable acknowledgment and is not flagged; `defer` cleanup calls
-// follow the usual Go idiom and are skipped.
+// wire.Response, and blank assignments (`_ = f()`, `_, _ = f()`) that
+// discard such a result — including a discarded errors.Join, which
+// silently swallows every operand error folded into it. The one blank
+// assignment still accepted is `_ = x.Close()`: best-effort cleanup
+// where the close error is documented as unreportable. Any other
+// deliberate discard needs a `//lint:allow statuserr -- reason`, so the
+// exemption carries its justification. `defer` cleanup calls follow the
+// usual Go idiom and are skipped.
 package statuserr
 
 import (
@@ -34,6 +39,9 @@ var ignoredRecvs = map[string]bool{
 	"strings.Builder": true,
 	"bytes.Buffer":    true,
 	"math/rand.Rand":  true,
+	"hash.Hash":       true, // hash.Hash documents that Write never errors
+	"hash.Hash32":     true,
+	"hash.Hash64":     true,
 }
 
 // Analyzer is the statuserr pass.
@@ -46,6 +54,7 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) error {
 	pass.Inspect(func(n ast.Node) bool {
 		var call *ast.CallExpr
+		blank := false
 		switch n := n.(type) {
 		case *ast.ExprStmt:
 			call, _ = n.X.(*ast.CallExpr)
@@ -53,6 +62,15 @@ func run(pass *analysis.Pass) error {
 			call = n.Call
 		case *ast.DeferStmt:
 			return false // defer f.Close() etc.: idiomatic, skip subtree
+		case *ast.AssignStmt:
+			// `_ = f()` / `_, _ = f()`: every result thrown away. A mixed
+			// assignment (`v, _ := f()`) keeps at least one result live
+			// and stays out of scope here.
+			if len(n.Rhs) != 1 || !allBlank(n.Lhs) {
+				return true
+			}
+			call, _ = ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			blank = true
 		}
 		if call == nil {
 			return true
@@ -60,19 +78,54 @@ func run(pass *analysis.Pass) error {
 		if ignored(pass.TypesInfo, call) {
 			return true
 		}
+		if blank && isCloseMethod(pass.TypesInfo, call) {
+			return true // `_ = x.Close()`: accepted best-effort cleanup
+		}
 		tv, ok := pass.TypesInfo.Types[call]
 		if !ok {
 			return true
 		}
 		if kind := droppedKind(tv.Type); kind != "" {
+			how := "discarded"
+			if blank {
+				how = "discarded by blank assignment"
+			}
+			if analysis.IsPkgFunc(pass.TypesInfo, call, "errors", "Join") {
+				pass.Reportf(call.Pos(),
+					"joined error of errors.Join is %s; every operand error vanishes with it "+
+						"(handle it, or //lint:allow statuserr with a reason)", how)
+				return true
+			}
 			pass.Reportf(call.Pos(),
-				"%s result of %s is discarded; a failed operation would go unnoticed "+
-					"(handle it, or assign to _ to acknowledge)",
-				kind, calleeName(pass.TypesInfo, call))
+				"%s result of %s is %s; a failed operation would go unnoticed "+
+					"(handle it, or //lint:allow statuserr with a reason)",
+				kind, calleeName(pass.TypesInfo, call), how)
 		}
 		return true
 	})
 	return nil
+}
+
+// allBlank reports whether every expression is the blank identifier.
+func allBlank(exprs []ast.Expr) bool {
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			return false
+		}
+	}
+	return true
+}
+
+// isCloseMethod reports whether call invokes a method named Close — the
+// `_ = x.Close()` best-effort-cleanup idiom this analyzer accepts.
+func isCloseMethod(info *types.Info, call *ast.CallExpr) bool {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Name() != "Close" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
 }
 
 // droppedKind classifies the call's result tuple: "error" if it yields
@@ -122,6 +175,23 @@ func ignored(info *types.Info, call *ast.CallExpr) bool {
 		obj := named.Obj()
 		if obj.Pkg() != nil && ignoredRecvs[obj.Pkg().Path()+"."+obj.Name()] {
 			return true
+		}
+	}
+	// Interface methods resolve to their embedded declarer (hash.Hash's
+	// Write is io.Writer's), so also judge the receiver expression's own
+	// static type.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if tv, ok := info.Types[sel.X]; ok {
+			t := tv.Type
+			if ptr, ok := t.(*types.Pointer); ok {
+				t = ptr.Elem()
+			}
+			if named, ok := t.(*types.Named); ok {
+				obj := named.Obj()
+				if obj.Pkg() != nil && ignoredRecvs[obj.Pkg().Path()+"."+obj.Name()] {
+					return true
+				}
+			}
 		}
 	}
 	return false

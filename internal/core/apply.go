@@ -17,12 +17,14 @@ import (
 // anywhere), the result may have been built from damaged bytes, so a
 // would-be OK/NotFound is converted into an explicit error. Results that
 // already report an error pass through unchanged.
+//
+//kvd:hotpath
 func (s *Store) Apply(req wire.Request) wire.Response {
 	before := s.uncorrectable()
-	resp := s.applyOp(req)
+	resp := s.applyOp(req) //lint:allow hotalloc -- response values are owned by the caller; value-bearing replies must allocate their payload
 	if s.uncorrectable() > before && resp.Status != wire.StatusError {
 		return wire.Response{Status: wire.StatusError,
-			Value: []byte("uncorrectable memory fault during operation")}
+			Value: []byte("uncorrectable memory fault during operation")} //lint:allow hotalloc -- uncorrectable-fault path: runs at most once per ECC loss, never per op
 	}
 	return resp
 }

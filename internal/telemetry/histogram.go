@@ -92,6 +92,8 @@ func (h *Histogram) Name() string { return h.name }
 
 // Observe records one value. It is safe to call from any goroutine and
 // never allocates.
+//
+//kvd:hotpath
 func (h *Histogram) Observe(v uint64) {
 	h.buckets[bucketIndex(v)].Add(1)
 	h.count.Add(1)

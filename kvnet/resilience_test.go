@@ -42,7 +42,7 @@ func TestClientReconnectsAfterReset(t *testing.T) {
 
 	// Two resets then clean: the Get must survive via retry + reconnect.
 	inj.Set(fault.NetReset, 1)
-	go func() {
+	go func() { //lint:allow gorolifetime -- test watchdog: exits once the injector records two resets; dies with the test process regardless
 		for inj.Injected(fault.NetReset) < 2 {
 			time.Sleep(time.Millisecond)
 		}
@@ -79,7 +79,7 @@ func TestClientRecoversFromCorruptResponse(t *testing.T) {
 	}
 
 	inj.Set(fault.NetCorruptFrame, 1)
-	go func() {
+	go func() { //lint:allow gorolifetime -- test watchdog: exits once the injector records two corruptions; dies with the test process regardless
 		for inj.Injected(fault.NetCorruptFrame) < 2 {
 			time.Sleep(time.Millisecond)
 		}

@@ -129,8 +129,9 @@ func (b storeBackend) ApplyBatchTraced(reqs []wire.Request, span *telemetry.Span
 
 func (b storeBackend) PublishTelemetry() { b.store.PublishTelemetry() }
 
+//kvd:hotpath
 func (b storeBackend) applyOne(req wire.Request, span *telemetry.Span) (resp wire.Response) {
-	defer func() {
+	defer func() { //lint:allow hotalloc -- panic-isolation contract; the defer is open-coded and its closure stays on the stack
 		if r := recover(); r != nil {
 			b.counters.Add("server.panics", 1)
 			resp = wire.Response{Status: wire.StatusError,
@@ -417,7 +418,7 @@ func (s *Server) reply(conn net.Conn, w *bufio.Writer, out []byte) bool {
 		// read and must recover.
 		s.counters.Add("server.truncations_injected", 1)
 		writeTruncatedFrame(w, out)
-		_ = w.Flush() // the connection is being killed by design
+		_ = w.Flush() //lint:allow statuserr -- the connection is being killed by design
 		return false
 	}
 	var err error
@@ -445,12 +446,12 @@ func (s *Server) reply(conn net.Conn, w *bufio.Writer, out []byte) bool {
 func writeTruncatedFrame(w *bufio.Writer, out []byte) {
 	full := make([]byte, 0, frameHeaderBytes+len(out))
 	buf := &appendWriter{buf: full}
-	_ = writeFrame(buf, out) // appendWriter cannot fail
+	_ = writeFrame(buf, out) //lint:allow statuserr -- appendWriter sink cannot fail
 	cut := frameHeaderBytes + len(out)/2
 	if cut > len(buf.buf) {
 		cut = len(buf.buf)
 	}
-	_, _ = w.Write(buf.buf[:cut]) // partial bytes on a doomed connection
+	_, _ = w.Write(buf.buf[:cut]) //lint:allow statuserr -- partial bytes on a deliberately doomed connection
 }
 
 // writeCorruptFrame emits a frame whose CRC matches the pristine payload

@@ -492,7 +492,7 @@ func (m *Migration) transferOnce() (installed bool, err error) {
 func (m *Migration) sendSnapshot(send func(wire.ReplMessage) error, recv func() (wire.ReplMessage, error)) (uint64, error) {
 	m.src.mu.Lock()
 	var buf bytes.Buffer
-	_, derr := m.src.store.Dump(&buf)
+	_, derr := m.src.store.Dump(&buf) //lint:allow lockorder -- consistent snapshot requires freezing the store; the lease heartbeat rides an atomic, not mu (PR 6)
 	snapSeq := m.src.lastApplied
 	if derr == nil {
 		m.src.log.Pin(snapSeq + 1)

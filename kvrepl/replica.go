@@ -464,7 +464,7 @@ func (r *Replica) ApplyBatchTraced(reqs []wire.Request, span *telemetry.Span) []
 		}
 		waitStart := time.Now()
 		st := span.StartStage("repl.quorum_wait")
-		quorum := r.waitQuorumLocked(lastSeq, epoch)
+		quorum := r.waitQuorumLocked(lastSeq, epoch) //lint:allow lockorder -- hand-over-hand wait: it releases mu around its blocking select and re-locks before returning
 		st.End()
 		r.quorumWait.Observe(uint64(time.Since(waitStart).Nanoseconds()))
 		if !quorum {

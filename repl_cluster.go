@@ -113,7 +113,7 @@ func (g *replicaGroup) mutate(req wire.Request) (wire.Response, error) {
 		if i == g.primary || s == nil || s.Closed() {
 			continue
 		}
-		_ = s.Apply(req) // lockstep: the primary's response is the answer
+		_ = s.Apply(req) //lint:allow statuserr -- lockstep backup apply; the primary's response is authoritative
 	}
 	return resp, nil
 }
