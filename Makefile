@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-new lint-fix test race chaos chaos-migrate bench telemetry check clean
+.PHONY: build vet lint lint-new lint-fix test race chaos chaos-migrate chaos-scan bench bench-scan telemetry check clean
 
 build:
 	$(GO) build ./...
@@ -46,8 +46,21 @@ chaos-migrate:
 	$(GO) test -race -count=2 -v -run 'TestChaosMigration' ./kvnet/
 	$(GO) test -race -count=2 -v -run 'TestMigrate|TestAddReplica|TestRemoveReplica|TestBackupWindowEviction|TestDoubleLeaseExpiry|TestAdopt' ./kvrepl/
 
+# Scan chaos: the ordered-scan differential property test run through
+# the sharded networked client under fault injection (scans must keep
+# their ordering/phantom/cursor contract across redirects and retries).
+chaos-scan:
+	$(GO) test -race -count=1 -v -run 'TestScanDifferential' ./internal/core/
+	$(GO) test -race -count=2 -v -run 'TestScanDifferentialSharded|TestChaosScan|TestYCSBEEndToEnd' ./kvnet/
+	$(GO) test -race -count=1 -v -run 'TestScanRoutesToPrimary' ./kvrepl/
+
 bench:
 	$(GO) test -bench=BenchmarkStorePutGet -benchmem -count=5 -run '^$$' ./internal/core/
+
+# Ordered-scan throughput (50-entry ranges, direct and over the wire),
+# merged into BENCH_results.json.
+bench-scan:
+	$(GO) run ./cmd/kvdbench -json bench scan
 
 # Telemetry smoke: the unit suite plus the overhead guard — the
 # disabled-sampling hot path must stay at 0 allocs/op (see DESIGN.md

@@ -144,6 +144,9 @@ func newBenchStore(b *testing.B, cfg Config) *Store {
 	if cfg.MemoryBytes == 0 {
 		cfg.MemoryBytes = 16 << 20
 	}
+	// Figure/ablation benches reproduce the paper's hash-only data path;
+	// the ordered index has its own benchmarks in cmd/kvdbench.
+	cfg.NoOrderedIndex = true
 	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -287,6 +290,7 @@ func BenchmarkOoOTimingSim(b *testing.B) {
 // a fixed workload, reported as a custom metric.
 func ablationAccesses(b *testing.B, cfg Config, gets bool) {
 	cfg.MemoryBytes = 8 << 20
+	cfg.NoOrderedIndex = true
 	s, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)

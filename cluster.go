@@ -87,6 +87,26 @@ func (c *Cluster) Update(key []byte, fnID uint8, width int, param uint64) (uint6
 	return c.Shard(key).Update(key, fnID, width, param)
 }
 
+// Scan returns up to limit pairs in ascending key order starting at the
+// first key >= start, with a continuation cursor (nil when exhausted).
+// Keys are hash-partitioned, so the scan fans out to every shard and
+// k-way merges the per-shard ordered streams — the same plan the
+// networked ShardedClient executes.
+func (c *Cluster) Scan(start []byte, limit int) ([]ScanEntry, []byte, error) {
+	pages := make([][]ScanEntry, len(c.stores))
+	cursors := make([][]byte, len(c.stores))
+	for i, s := range c.stores {
+		entries, cur, err := s.Scan(start, limit)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kvdirect: shard %d scan: %w", i, err)
+		}
+		pages[i] = entries
+		cursors[i] = cur
+	}
+	entries, next := MergeScanPages(pages, cursors, limit)
+	return entries, next, nil
+}
+
 // Flush drains every shard's pipeline.
 func (c *Cluster) Flush() {
 	for _, s := range c.stores {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"testing"
 
 	"kvdirect"
@@ -48,10 +49,15 @@ func benchCfg() kvdirect.Config {
 
 // runBenchmarks measures the replicated-write overhead against the
 // single-store baseline, both in-process (pure replication cost) and
-// over kvnet with a 3-replica quorum-2 group (the full kvrepl path).
-func runBenchmarks(asJSON bool) error {
+// over kvnet with a 3-replica quorum-2 group (the full kvrepl path),
+// plus ordered-scan throughput. A non-empty filter selects benchmarks
+// by name-substring (e.g. "scan").
+func runBenchmarks(asJSON bool, filter string) error {
 	var results []benchResult
 	add := func(name string, fn func(b *testing.B)) {
+		if filter != "" && !strings.Contains(name, filter) {
+			return
+		}
 		results = append(results, toResult(name, testing.Benchmark(fn)))
 		if !asJSON {
 			r := results[len(results)-1]
@@ -157,22 +163,110 @@ func runBenchmarks(asJSON bool) error {
 		}
 	})
 
+	// Ordered-scan throughput: 50-entry ranges (the YCSB-E mean) over a
+	// preloaded store, direct and through the wire protocol. One op = one
+	// 50-entry range, so ops/s here is ranges/s.
+	const scanLimit = 50
+	add("scan50/single-store", func(b *testing.B) {
+		s, err := kvdirect.New(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		v := benchVal()
+		for i := 0; i < 4096; i++ {
+			if err := s.Put(benchKey(i), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			entries, _, err := s.Scan(benchKey(i), scanLimit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(entries) == 0 {
+				b.Fatal("scan returned nothing")
+			}
+		}
+	})
+
+	add("scan50/single-store-net", func(b *testing.B) {
+		s, err := kvdirect.New(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		srv, err := kvnet.Serve(s, "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		c, err := kvnet.Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		v := benchVal()
+		for i := 0; i < 4096; i++ {
+			if err := c.Put(benchKey(i), v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			entries, err := c.Scan(benchKey(i), scanLimit)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(entries) == 0 {
+				b.Fatal("scan returned nothing")
+			}
+		}
+	})
+
 	if !asJSON {
 		return nil
 	}
+	merged := mergeResults(results)
 	f, err := os.Create(benchOutFile)
 	if err != nil {
 		return err
 	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(results); err != nil {
+	if err := enc.Encode(merged); err != nil {
 		_ = f.Close() // encode error is the one to report
 		return err
 	}
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %d benchmark results to %s\n", len(results), benchOutFile)
+	fmt.Printf("wrote %d benchmark results to %s\n", len(merged), benchOutFile)
 	return nil
+}
+
+// mergeResults folds fresh rows into any existing BENCH_results.json by
+// name, so a filtered run (e.g. 'bench scan') updates its rows without
+// dropping the rest. A missing or unreadable file just means no priors.
+func mergeResults(fresh []benchResult) []benchResult {
+	data, err := os.ReadFile(benchOutFile)
+	if err != nil {
+		return fresh
+	}
+	var prior []benchResult
+	if json.Unmarshal(data, &prior) != nil {
+		return fresh
+	}
+	updated := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		updated[r.Name] = true
+	}
+	out := make([]benchResult, 0, len(prior)+len(fresh))
+	for _, r := range prior {
+		if !updated[r.Name] {
+			out = append(out, r)
+		}
+	}
+	return append(out, fresh...)
 }

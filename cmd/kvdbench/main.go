@@ -50,8 +50,14 @@ func main() {
 
 	if args[0] == "bench" {
 		// Micro-benchmarks (replicated-write overhead vs single-store
-		// baseline); with -json the rows also land in BENCH_results.json.
-		if err := runBenchmarks(*asJSON); err != nil {
+		// baseline, scan throughput); with -json the rows also land in
+		// BENCH_results.json. An optional trailing argument filters
+		// benchmarks by name-substring: kvdbench -json bench scan.
+		filter := ""
+		if len(args) > 1 {
+			filter = args[1]
+		}
+		if err := runBenchmarks(*asJSON, filter); err != nil {
 			fmt.Fprintf(os.Stderr, "kvdbench: bench: %v\n", err)
 			os.Exit(1)
 		}
@@ -94,10 +100,12 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `kvdbench — regenerate the KV-Direct paper's evaluation
 
-usage: kvdbench [-quick] [-seed N] [-json] <experiment>... | all | list | bench
+usage: kvdbench [-quick] [-seed N] [-json] <experiment>... | all | list | bench [filter]
 
-'bench' runs micro-benchmarks (single-store vs replicated writes);
-with -json the results are also written to BENCH_results.json.
+'bench' runs micro-benchmarks (single-store vs replicated writes, scan
+throughput); an optional filter selects benchmarks by name-substring
+(e.g. 'bench scan'). With -json the results are merged by name into
+BENCH_results.json.
 
 experiments:
 `)

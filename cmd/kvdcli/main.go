@@ -10,6 +10,9 @@
 //	get <key>
 //	put <key> <value>
 //	del <key>
+//	scan <start> [-limit N]   ordered range: up to N pairs (default 10)
+//	                          in ascending key order from the first
+//	                          key >= start
 //	incr <key> [delta]        atomic fetch-and-add on an 8-byte counter
 //	reduce <key> <add|max>    fold a 4-byte-element vector on the server
 //	register <id> <expr>      compile and install an update λ on the server
@@ -126,6 +129,33 @@ func run(c *kvnet.Client, args []string) error {
 		} else {
 			fmt.Println("(not found)")
 		}
+
+	case "scan":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: scan <start> [-limit N]")
+		}
+		limit := 10
+		rest := args[2:]
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == "-limit" && i+1 < len(rest) {
+				n, err := strconv.Atoi(rest[i+1])
+				if err != nil {
+					return err
+				}
+				limit = n
+				i++
+				continue
+			}
+			return fmt.Errorf("usage: scan <start> [-limit N]")
+		}
+		entries, err := c.Scan([]byte(args[1]), limit)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			fmt.Printf("%q = %q\n", e.Key, e.Value)
+		}
+		fmt.Printf("(%d entries)\n", len(entries))
 
 	case "incr":
 		if len(args) < 2 || len(args) > 3 {

@@ -321,12 +321,14 @@ func clientRun(addr string, preset workload.Preset, keys uint64, ops, keySize, v
 						Value: gen.ValueBytes(op.KeyID, version)})
 			}
 		case workload.Scan:
-			// Hash-binding scan: ScanLen point GETs in one batch.
-			for j := 0; j < workload.ScanLen; j++ {
-				id := (op.KeyID + uint64(j)) % pg.Keys()
-				pending = append(pending, kvdirect.Op{Code: kvdirect.OpGet,
-					Key: gen.KeyBytes(id)[:keySize]})
+			// Real ordered range: one SCAN op over the server's ordered
+			// secondary index, starting at the drawn key.
+			sop, serr := kvdirect.ScanOp(key, op.ScanLen, nil)
+			if serr != nil {
+				errs++
+				continue
 			}
+			pending = append(pending, sop)
 		}
 		if len(pending) >= batch {
 			flush()

@@ -31,6 +31,7 @@ var ModelPackages = map[string]bool{
 	"kvdirect/internal/core":     true,
 	"kvdirect/internal/dispatch": true,
 	"kvdirect/internal/ooo":      true,
+	"kvdirect/internal/ordered":  true,
 }
 
 // bannedTime are time package functions that read or wait on the wall

@@ -104,6 +104,26 @@ func (s *Store) applyOp(req wire.Request) wire.Response {
 		}
 		return wire.Response{Status: wire.StatusOK, Value: v}
 
+	case wire.OpScan:
+		limit, cursor, err := wire.DecodeScanParam(req.Value)
+		if err != nil {
+			return errResp(err)
+		}
+		start := req.Key
+		if len(cursor) > 0 {
+			// A continuation cursor resumes past the original start key.
+			start = cursor
+		}
+		entries, next, err := s.scanBounded(start, limit, wire.MaxScanDataBytes)
+		if err != nil {
+			return errResp(err)
+		}
+		page, err := wire.EncodeScanPage(entries, next)
+		if err != nil {
+			return errResp(err)
+		}
+		return wire.Response{Status: wire.StatusOK, Value: page}
+
 	case wire.OpStats:
 		st := s.Stats()
 		h := s.Health()

@@ -22,6 +22,7 @@ import (
 	"kvdirect/internal/memory"
 	"kvdirect/internal/nicdram"
 	"kvdirect/internal/ooo"
+	"kvdirect/internal/ordered"
 	"kvdirect/internal/slab"
 	"kvdirect/internal/telemetry"
 )
@@ -64,6 +65,12 @@ type Config struct {
 	// DRAM (caught by ECC), plus DMA-engine stalls and dropped
 	// completions. Nil disables injection entirely.
 	Faults *fault.Injector
+	// NoOrderedIndex disables the ordered secondary index, restoring the
+	// paper's hash-only data path (PUTs stop paying index-maintenance
+	// DMAs and Scan returns ErrNoOrderedIndex). The experiment drivers
+	// set this: the figures reproduce the paper's configuration, which
+	// has no ordered index.
+	NoOrderedIndex bool
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +143,7 @@ type Store struct {
 	disp   *dispatch.Dispatcher
 	alloc  *slab.Allocator
 	table  *hashtable.Table
+	oidx   *ordered.Index
 	engine *ooo.Engine
 
 	updateFns map[uint8]UpdateFunc
@@ -185,6 +193,13 @@ func NewStore(cfg Config) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	var oidx *ordered.Index
+	if !cfg.NoOrderedIndex {
+		oidx, err = ordered.New(disp, alloc, cfg.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	s := &Store{
 		cfg:       cfg,
 		mem:       mem,
@@ -195,10 +210,18 @@ func NewStore(cfg Config) (*Store, error) {
 		disp:      disp,
 		alloc:     alloc,
 		table:     table,
+		oidx:      oidx,
 		updateFns: map[uint8]UpdateFunc{},
 		filterFns: map[uint8]FilterFunc{},
 	}
-	s.engine = ooo.NewEngine(table, cfg.RSSlots, cfg.Window)
+	// The engine issues to the hash table through the index-coherence
+	// wrapper, so every mutation — client ops and deferred write-backs
+	// alike — keeps the ordered secondary index in sync.
+	var exec ooo.Executor = table
+	if oidx != nil {
+		exec = indexedExec{table: table, idx: oidx}
+	}
+	s.engine = ooo.NewEngine(exec, cfg.RSSlots, cfg.Window)
 	s.engine.Stall = cfg.DisableOoO
 
 	s.updateFns[FnAdd] = func(e, p uint64) uint64 { return e + p }
@@ -587,6 +610,7 @@ type Stats struct {
 	Dispatch dispatch.Stats
 	Slab     slab.Stats
 	Engine   ooo.Stats
+	Ordered  ordered.Stats
 	ECC      ecc.ProtectedStats // zero unless ECCProtect/Faults
 	Fault    fault.MemoryStats  // zero unless Faults
 
@@ -608,6 +632,9 @@ func (s *Store) Stats() Stats {
 		PayloadBytes:  s.table.PayloadBytes(),
 		ChainBuckets:  s.table.ChainBuckets(),
 		CorruptChains: s.table.CorruptChains(),
+	}
+	if s.oidx != nil {
+		st.Ordered = s.oidx.Stats()
 	}
 	if s.cache != nil {
 		st.Cache = s.cache.Stats()

@@ -465,16 +465,16 @@ func TestStoreScanAndVerify(t *testing.T) {
 		}
 		want[k] = v
 	}
-	// Pipelined writes still in flight must be visible to Scan (it
+	// Pipelined writes still in flight must be visible to Walk (it
 	// flushes first).
 	s.SubmitPut([]byte("inflight"), []byte("yes"), nil)
 	got := map[string]string{}
-	s.Scan(func(k, v []byte) bool {
+	s.Walk(func(k, v []byte) bool {
 		got[string(k)] = string(v)
 		return true
 	})
 	if got["inflight"] != "yes" {
-		t.Error("Scan missed in-flight write")
+		t.Error("Walk missed in-flight write")
 	}
 	for k, v := range want {
 		if got[k] != v {

@@ -50,7 +50,7 @@ func (s *Store) Dump(w io.Writer) (int, error) {
 		}
 		batch = batch[:0]
 	}
-	s.Scan(func(key, value []byte) bool {
+	s.Walk(func(key, value []byte) bool {
 		batch = append(batch, wire.Request{
 			Op:    wire.OpPut,
 			Key:   append([]byte(nil), key...),

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"errors"
+
+	"kvdirect/internal/hashtable"
+	"kvdirect/internal/ordered"
+	"kvdirect/internal/wire"
+)
+
+// The ordered secondary index (internal/ordered) is kept coherent with
+// the hash table at the single point every mutation funnels through: the
+// executor the out-of-order engine issues to. Client PUT/DELETE, atomic
+// read-modify-writes and the engine's deferred dirty-value write-backs
+// all land here, so the index is exact whenever the pipeline is drained.
+
+// ErrBadScanLimit rejects non-positive scan limits.
+var ErrBadScanLimit = errors.New("core: scan limit must be positive")
+
+// ErrNoOrderedIndex reports a Scan against a store configured with
+// NoOrderedIndex (the paper's hash-only data path).
+var ErrNoOrderedIndex = errors.New("core: ordered index disabled")
+
+// ErrScanEntryTooLarge reports an entry that alone exceeds a scan page's
+// byte budget; returning an empty page with an unmoved cursor would stall
+// a paged scan forever, so the scan fails loudly instead.
+var ErrScanEntryTooLarge = errors.New("core: entry exceeds scan page budget")
+
+// indexedExec wraps the hash table as the engine's executor, mirroring
+// inserts and deletes into the ordered index. The index is updated
+// before the table insert so a table failure (store full, oversized
+// value) can roll the index back without ever exposing a phantom key.
+type indexedExec struct {
+	table *hashtable.Table
+	idx   *ordered.Index
+}
+
+func (e indexedExec) Get(key []byte) ([]byte, bool) { return e.table.Get(key) }
+
+func (e indexedExec) Put(key, value []byte) error {
+	if len(key) > ordered.MaxKeyLen {
+		// Let the table produce its own oversized-key error; nothing to
+		// index either way.
+		return e.table.Put(key, value)
+	}
+	inserted, err := e.idx.Insert(key)
+	if err != nil {
+		return err
+	}
+	if err := e.table.Put(key, value); err != nil {
+		if inserted {
+			e.idx.Delete(key)
+		}
+		return err
+	}
+	return nil
+}
+
+func (e indexedExec) Delete(key []byte) bool {
+	ok := e.table.Delete(key)
+	if ok {
+		e.idx.Delete(key)
+	}
+	return ok
+}
+
+// ScanEntry is one key/value pair returned by an ordered scan.
+type ScanEntry = wire.ScanEntry
+
+// Scan returns up to limit pairs in ascending key order, starting at the
+// first key >= start (nil start scans from the smallest key). The second
+// return is the continuation cursor: the smallest key not yet returned,
+// nil when the key space past start is exhausted. Resuming a scan at the
+// cursor (inclusive) continues exactly where the page ended.
+//
+// The pipeline is drained first, so a page is a consistent snapshot of
+// all operations submitted before the call.
+func (s *Store) Scan(start []byte, limit int) ([]ScanEntry, []byte, error) {
+	return s.scanBounded(start, limit, 0)
+}
+
+// scanBounded is Scan with an optional byte budget for the page's
+// encoded entries (0 = unbounded), used by the wire path to fit pages
+// under the response-value cap.
+func (s *Store) scanBounded(start []byte, limit, maxBytes int) ([]ScanEntry, []byte, error) {
+	if limit <= 0 {
+		return nil, nil, ErrBadScanLimit
+	}
+	if s.oidx == nil {
+		return nil, nil, ErrNoOrderedIndex
+	}
+	s.engine.Flush()
+	var entries []ScanEntry
+	var cursor []byte
+	var scanErr error
+	pageBytes := 0
+	s.oidx.Visit(start, func(key []byte) bool {
+		// The index hands out a scratch-buffer view; the entry (and the
+		// cursor) need stable copies.
+		if len(entries) == limit {
+			cursor = append([]byte(nil), key...)
+			return false
+		}
+		value, ok := s.table.Get(key)
+		if !ok {
+			// Unreachable while the index is coherent; skipping (rather
+			// than fabricating an entry) keeps a scan honest if a fault
+			// ever corrupts one structure but not the other.
+			return true
+		}
+		e := ScanEntry{Key: append([]byte(nil), key...), Value: value}
+		if maxBytes > 0 && pageBytes+e.EncodedSize() > maxBytes {
+			if len(entries) == 0 {
+				scanErr = ErrScanEntryTooLarge
+				return false
+			}
+			cursor = e.Key
+			return false
+		}
+		pageBytes += e.EncodedSize()
+		entries = append(entries, e)
+		return true
+	})
+	if scanErr != nil {
+		return nil, nil, scanErr
+	}
+	return entries, cursor, nil
+}

@@ -112,6 +112,12 @@ func (s *Store) PublishTelemetry() {
 	g.Set("dispatch.direct_writes", st.Dispatch.DirectWrites)
 	g.Set("dispatch.cached_reads", st.Dispatch.CachedReads)
 	g.Set("dispatch.cached_writes", st.Dispatch.CachedWrites)
+	g.Set("ordered.keys", st.Ordered.Keys)
+	g.Set("ordered.node_bytes", st.Ordered.NodeBytes)
+	g.Set("ordered.inserts", st.Ordered.Inserts)
+	g.Set("ordered.deletes", st.Ordered.Deletes)
+	g.Set("ordered.seeks", st.Ordered.Seeks)
+	g.Set("ordered.visited", st.Ordered.Visited)
 	g.Set("ecc.corrected", st.ECC.Corrected+st.Cache.EccCorrected)
 	g.Set("ecc.healed", st.Cache.EccHealed)
 	g.Set("ecc.uncorrectable", st.ECC.Uncorrectable+st.Cache.EccLost)

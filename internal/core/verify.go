@@ -2,10 +2,11 @@ package core
 
 import "kvdirect/internal/hashtable"
 
-// Scan visits every stored KV pair. It drains the pipeline first so the
-// walk observes a consistent snapshot, then issues the same DMAs a full
-// table migration would.
-func (s *Store) Scan(fn func(key, value []byte) bool) {
+// Walk visits every stored KV pair in hash-bucket order. It drains the
+// pipeline first so the walk observes a consistent snapshot, then issues
+// the same DMAs a full table migration would. For key-ordered iteration
+// use Scan.
+func (s *Store) Walk(fn func(key, value []byte) bool) {
 	s.engine.Flush()
 	s.table.Scan(fn)
 }

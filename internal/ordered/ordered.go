@@ -1,0 +1,306 @@
+// Package ordered implements the ordered secondary index that gives the
+// KV-Direct reproduction real range scans (YCSB-E): a deterministic skip
+// list keyed on user keys, layered beside the hash index over the same
+// slab storage.
+//
+// KV-Direct's hash index (paper §3) cannot serve ordered ranges; "Employ
+// SmartNICs' DPAs for Ordered Key-Value Stores" shows NIC-offloaded KV
+// extends naturally to ordered structures. The index lives entirely in
+// the simulated NIC-accessible memory: every node is a slab allocation
+// and every node touch goes through the counted memory.Engine, so index
+// maintenance and scan traversal are charged to the performance model
+// exactly like hash-table DMAs (the unaccountedaccess and walltime
+// analyzers audit this package like any other model package).
+//
+// The index stores keys only — values stay in the hash table's slabs, so
+// a scan pays one index walk plus one hash lookup per returned entry,
+// mirroring a secondary index on real hardware.
+//
+// Node layout in slab memory (little-endian):
+//
+//	node := level u8 | klen u8 | pad u16 | next[level] u64 | key [klen]
+//
+// The tower height is drawn from a seeded splitmix64 stream (p = 1/4 per
+// extra level, capped at MaxLevel), keeping the structure deterministic
+// for a given seed and operation sequence — the same determinism contract
+// the rest of the model obeys.
+package ordered
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"kvdirect/internal/memory"
+	"kvdirect/internal/slab"
+)
+
+const (
+	// MaxLevel caps the skip-list tower height. With p = 1/4 this keeps
+	// expected search cost logarithmic up to ~4^12 ≈ 16M keys, and the
+	// biggest node (full tower + 255-byte key) still fits a 512 B slab.
+	MaxLevel = 12
+
+	// MaxKeyLen mirrors the hash table's key limit.
+	MaxKeyLen = 255
+
+	headerBytes = 4 // level u8 | klen u8 | pad u16
+	ptrBytes    = 8
+
+	// nilPtr marks the end of a level's chain. Zero is not usable as the
+	// sentinel: with a zero-sized hash-index partition, address 0 is a
+	// valid slab.
+	nilPtr = ^uint64(0)
+)
+
+// ErrKeyTooLong rejects keys over MaxKeyLen bytes.
+var ErrKeyTooLong = errors.New("ordered: key exceeds 255 bytes")
+
+// Stats counts index activity.
+type Stats struct {
+	Keys      uint64 // live indexed keys (= skip-list nodes, head excluded)
+	NodeBytes uint64 // slab bytes held by live nodes
+	Inserts   uint64 // keys added
+	Deletes   uint64 // keys removed
+	Seeks     uint64 // ordered lookups (scans + insert/delete searches)
+	Visited   uint64 // nodes stepped through during scans
+}
+
+// Index is one store's ordered secondary index. Like the rest of the KV
+// processor it is not safe for concurrent use; the owning Store's
+// pipeline serializes access.
+type Index struct {
+	mem   memory.Engine
+	alloc *slab.Allocator
+	head  uint64 // head tower node (level MaxLevel, empty key)
+	rng   uint64 // splitmix64 state for deterministic level draws
+	stats Stats
+
+	// Reusable scratch buffers keep the seek/visit hot path at zero
+	// allocations; they also pin the no-reentrancy contract — callbacks
+	// must not call back into the same Index.
+	hdr  [headerBytes]byte
+	ptr  [ptrBytes]byte
+	node [headerBytes + MaxLevel*ptrBytes + MaxKeyLen]byte
+	kbuf [MaxKeyLen]byte // probe key during seeks
+	vbuf [MaxKeyLen]byte // visited key handed to Visit callbacks
+}
+
+// New builds an empty index over the given counted memory engine and
+// slab allocator (shared with the hash table, so index nodes and KV
+// payloads compete for the same storage, as a real co-located secondary
+// index would).
+func New(mem memory.Engine, alloc *slab.Allocator, seed uint64) (*Index, error) {
+	x := &Index{mem: mem, alloc: alloc, rng: seed ^ 0x6F7264657265645F}
+	addr, err := alloc.Alloc(nodeSize(MaxLevel, 0))
+	if err != nil {
+		return nil, fmt.Errorf("ordered: head allocation: %w", err)
+	}
+	x.head = addr
+	buf := x.node[:nodeSize(MaxLevel, 0)]
+	buf[0] = MaxLevel
+	buf[1], buf[2], buf[3] = 0, 0, 0
+	for l := 0; l < MaxLevel; l++ {
+		putU64(buf[headerBytes+l*ptrBytes:], nilPtr)
+	}
+	x.mem.Write(addr, buf)
+	return x, nil
+}
+
+func nodeSize(level, klen int) int { return headerBytes + level*ptrBytes + klen }
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// readHeader fetches a node's level and key length (one DMA).
+func (x *Index) readHeader(addr uint64) (level, klen int) {
+	x.mem.Read(addr, x.hdr[:])
+	return int(x.hdr[0]), int(x.hdr[1])
+}
+
+// readNext fetches one forward pointer (one DMA).
+func (x *Index) readNext(addr uint64, lvl int) uint64 {
+	x.mem.Read(addr+headerBytes+uint64(lvl)*ptrBytes, x.ptr[:])
+	return getU64(x.ptr[:])
+}
+
+// writeNext stores one forward pointer (one DMA).
+func (x *Index) writeNext(addr uint64, lvl int, next uint64) {
+	putU64(x.ptr[:], next)
+	x.mem.Write(addr+headerBytes+uint64(lvl)*ptrBytes, x.ptr[:])
+}
+
+// readKey fetches a node's key into dst (one DMA) and returns the slice.
+func (x *Index) readKey(addr uint64, level, klen int, dst []byte) []byte {
+	if klen == 0 {
+		return dst[:0]
+	}
+	x.mem.Read(addr+uint64(nodeSize(level, 0)), dst[:klen])
+	return dst[:klen]
+}
+
+// splitmix64 advances the deterministic level-draw stream.
+func (x *Index) splitmix64() uint64 {
+	x.rng += 0x9E3779B97F4A7C15
+	z := x.rng
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// drawLevel samples a tower height: geometric with p = 1/4, capped.
+func (x *Index) drawLevel() int {
+	z := x.splitmix64()
+	lvl := 1
+	for lvl < MaxLevel && z&3 == 0 {
+		z >>= 2
+		lvl++
+	}
+	return lvl
+}
+
+// seek descends the towers to the predecessor of key at every level,
+// filling path[l] with the last node whose key is < key at level l.
+// It returns the address of the first level-0 node with key >= key
+// (nilPtr if none) and whether that node's key equals key exactly.
+//
+//kvd:hotpath
+func (x *Index) seek(key []byte, path *[MaxLevel]uint64) (uint64, bool) {
+	x.stats.Seeks++
+	cur := x.head
+	for l := MaxLevel - 1; l >= 0; l-- {
+		for {
+			next := x.readNext(cur, l)
+			if next == nilPtr {
+				break
+			}
+			nl, nk := x.readHeader(next)
+			if bytes.Compare(x.readKey(next, nl, nk, x.kbuf[:]), key) >= 0 {
+				break
+			}
+			cur = next
+		}
+		if path != nil {
+			path[l] = cur
+		}
+	}
+	candidate := x.readNext(cur, 0)
+	if candidate == nilPtr {
+		return nilPtr, false
+	}
+	nl, nk := x.readHeader(candidate)
+	return candidate, bytes.Equal(x.readKey(candidate, nl, nk, x.kbuf[:]), key)
+}
+
+// Insert adds key to the index, reporting whether it was newly inserted
+// (false: already present, the index is unchanged). The key bytes are
+// copied into simulated memory.
+func (x *Index) Insert(key []byte) (bool, error) {
+	if len(key) > MaxKeyLen {
+		return false, ErrKeyTooLong
+	}
+	var path [MaxLevel]uint64
+	if _, found := x.seek(key, &path); found {
+		return false, nil
+	}
+	level := x.drawLevel()
+	size := nodeSize(level, len(key))
+	addr, err := x.alloc.Alloc(size)
+	if err != nil {
+		return false, fmt.Errorf("ordered: node allocation: %w", err)
+	}
+	buf := x.node[:size]
+	buf[0] = uint8(level)
+	buf[1] = uint8(len(key))
+	buf[2], buf[3] = 0, 0
+	for l := 0; l < level; l++ {
+		putU64(buf[headerBytes+l*ptrBytes:], x.readNext(path[l], l))
+	}
+	copy(buf[nodeSize(level, 0):], key)
+	x.mem.Write(addr, buf) // one DMA: the node is a single contiguous write
+	for l := 0; l < level; l++ {
+		x.writeNext(path[l], l, addr)
+	}
+	x.stats.Keys++
+	x.stats.NodeBytes += uint64(slabSize(size))
+	x.stats.Inserts++
+	return true, nil
+}
+
+// slabSize rounds a node size up to its slab class (for NodeBytes).
+func slabSize(n int) int {
+	if c, ok := slab.ClassFor(n); ok {
+		return slab.Sizes[c]
+	}
+	return n
+}
+
+// Delete removes key from the index, reporting whether it was present.
+func (x *Index) Delete(key []byte) bool {
+	if len(key) > MaxKeyLen {
+		return false
+	}
+	var path [MaxLevel]uint64
+	addr, found := x.seek(key, &path)
+	if !found {
+		return false
+	}
+	level, klen := x.readHeader(addr)
+	for l := 0; l < level; l++ {
+		// path[l] precedes addr at every level addr occupies; splice it
+		// out by forwarding the predecessor past it.
+		if x.readNext(path[l], l) == addr {
+			x.writeNext(path[l], l, x.readNext(addr, l))
+		}
+	}
+	size := nodeSize(level, klen)
+	x.alloc.Free(addr, size)
+	x.stats.Keys--
+	x.stats.NodeBytes -= uint64(slabSize(size))
+	x.stats.Deletes++
+	return true
+}
+
+// Contains reports whether key is indexed.
+func (x *Index) Contains(key []byte) bool {
+	if len(key) > MaxKeyLen {
+		return false
+	}
+	_, found := x.seek(key, nil)
+	return found
+}
+
+// Len returns the number of indexed keys.
+func (x *Index) Len() uint64 { return x.stats.Keys }
+
+// Stats returns a snapshot of the counters.
+func (x *Index) Stats() Stats { return x.stats }
+
+// Visit walks keys in ascending order starting at the first key >= start,
+// calling fn for each until fn returns false or the index is exhausted.
+// The key slice is only valid during the callback, and fn must not call
+// back into the Index (the walk owns the scratch buffers).
+//
+//kvd:hotpath
+func (x *Index) Visit(start []byte, fn func(key []byte) bool) {
+	cur, _ := x.seek(start, nil)
+	for cur != nilPtr {
+		level, klen := x.readHeader(cur)
+		x.stats.Visited++
+		if !fn(x.readKey(cur, level, klen, x.vbuf[:])) {
+			return
+		}
+		cur = x.readNext(cur, 0)
+	}
+}

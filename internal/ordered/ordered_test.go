@@ -1,0 +1,222 @@
+package ordered
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kvdirect/internal/memory"
+	"kvdirect/internal/slab"
+)
+
+func newTestIndex(t *testing.T, seed uint64) (*Index, *memory.Memory) {
+	t.Helper()
+	mem := memory.New(1 << 20)
+	alloc := slab.New(memory.Partition{Base: 0, Size: 1 << 20}, slab.Options{})
+	x, err := New(mem, alloc, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x, mem
+}
+
+// TestOrderedDifferential drives random inserts, deletes and range visits
+// against a model sorted set and demands exact agreement.
+func TestOrderedDifferential(t *testing.T) {
+	x, _ := newTestIndex(t, 42)
+	rng := rand.New(rand.NewSource(7))
+	model := map[string]bool{}
+
+	randKey := func() []byte {
+		return []byte(fmt.Sprintf("key-%03d", rng.Intn(400)))
+	}
+	sortedModel := func() []string {
+		keys := make([]string, 0, len(model))
+		for k := range model {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3, 4: // insert
+			k := randKey()
+			fresh, err := x.Insert(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fresh == model[string(k)] {
+				t.Fatalf("insert %q: fresh=%v but model present=%v", k, fresh, model[string(k)])
+			}
+			model[string(k)] = true
+		case 5, 6, 7: // delete
+			k := randKey()
+			if got := x.Delete(k); got != model[string(k)] {
+				t.Fatalf("delete %q: got %v, model %v", k, got, model[string(k)])
+			}
+			delete(model, string(k))
+		case 8: // membership probe
+			k := randKey()
+			if got := x.Contains(k); got != model[string(k)] {
+				t.Fatalf("contains %q: got %v, model %v", k, got, model[string(k)])
+			}
+		default: // bounded range visit from a random start
+			start := randKey()
+			want := []string{}
+			for _, k := range sortedModel() {
+				if k >= string(start) && len(want) < 25 {
+					want = append(want, k)
+				}
+			}
+			got := []string{}
+			x.Visit(start, func(key []byte) bool {
+				got = append(got, string(key))
+				return len(got) < 25
+			})
+			if len(got) != len(want) {
+				t.Fatalf("visit from %q: %d keys, want %d", start, len(got), len(want))
+			}
+			for j := range got {
+				if got[j] != want[j] {
+					t.Fatalf("visit from %q: key %d is %q, want %q", start, j, got[j], want[j])
+				}
+			}
+		}
+	}
+	if x.Len() != uint64(len(model)) {
+		t.Fatalf("Len = %d, model has %d", x.Len(), len(model))
+	}
+}
+
+// TestOrderedDeterminism: the same seed and op sequence must produce an
+// identical structure — byte-identical visit order and identical DMA
+// counts (the model's reproducibility contract).
+func TestOrderedDeterminism(t *testing.T) {
+	run := func() ([]string, memory.Stats) {
+		x, mem := newTestIndex(t, 99)
+		for i := 0; i < 500; i++ {
+			if _, err := x.Insert([]byte(fmt.Sprintf("k%04d", i*7%500))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 250; i++ {
+			x.Delete([]byte(fmt.Sprintf("k%04d", i*3%500)))
+		}
+		var keys []string
+		x.Visit(nil, func(k []byte) bool { keys = append(keys, string(k)); return true })
+		return keys, mem.Stats()
+	}
+	k1, s1 := run()
+	k2, s2 := run()
+	if len(k1) != len(k2) {
+		t.Fatalf("runs differ in size: %d vs %d", len(k1), len(k2))
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("runs diverge at %d: %q vs %q", i, k1[i], k2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("DMA counts diverge: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestOrderedAccessesCharged: every index operation must cost DMAs on the
+// counted engine — a seek that touched nothing would mean the index
+// bypassed the performance model.
+func TestOrderedAccessesCharged(t *testing.T) {
+	x, mem := newTestIndex(t, 1)
+	before := mem.Stats()
+	if _, err := x.Insert([]byte("alpha")); err != nil {
+		t.Fatal(err)
+	}
+	mid := mem.Stats()
+	if mid.Writes <= before.Writes {
+		t.Fatal("insert issued no counted writes")
+	}
+	if mid.Reads <= before.Reads {
+		t.Fatal("insert's seek issued no counted reads")
+	}
+	x.Visit(nil, func([]byte) bool { return true })
+	after := mem.Stats()
+	if after.Reads <= mid.Reads {
+		t.Fatal("visit issued no counted reads")
+	}
+	st := x.Stats()
+	if st.Inserts != 1 || st.Keys != 1 || st.Seeks == 0 || st.Visited == 0 {
+		t.Fatalf("stats not tracking: %+v", st)
+	}
+}
+
+// TestOrderedKeyTooLong: oversized keys are rejected without touching the
+// structure.
+func TestOrderedKeyTooLong(t *testing.T) {
+	x, _ := newTestIndex(t, 1)
+	big := bytes.Repeat([]byte("x"), MaxKeyLen+1)
+	if _, err := x.Insert(big); err != ErrKeyTooLong {
+		t.Fatalf("Insert oversized: err = %v, want ErrKeyTooLong", err)
+	}
+	if x.Delete(big) {
+		t.Fatal("Delete oversized reported true")
+	}
+	if x.Contains(big) {
+		t.Fatal("Contains oversized reported true")
+	}
+	if x.Len() != 0 {
+		t.Fatalf("index not empty: %d", x.Len())
+	}
+}
+
+// TestOrderedMaxLenKey: a maximum-length key round-trips intact.
+func TestOrderedMaxLenKey(t *testing.T) {
+	x, _ := newTestIndex(t, 1)
+	k := bytes.Repeat([]byte("m"), MaxKeyLen)
+	if _, err := x.Insert(k); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	x.Visit(nil, func(key []byte) bool {
+		got = append([]byte(nil), key...)
+		return true
+	})
+	if !bytes.Equal(got, k) {
+		t.Fatalf("round-trip corrupted a %d-byte key", MaxKeyLen)
+	}
+	if !x.Delete(k) {
+		t.Fatal("delete of max-length key failed")
+	}
+}
+
+// TestOrderedAllocExhaustion: allocation failure surfaces as a wrapped
+// error and leaves the structure consistent.
+func TestOrderedAllocExhaustion(t *testing.T) {
+	mem := memory.New(8 << 10)
+	alloc := slab.New(memory.Partition{Base: 0, Size: 8 << 10}, slab.Options{})
+	x, err := New(mem, alloc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var failed bool
+	for i := 0; i < 10000; i++ {
+		if _, err := x.Insert([]byte(fmt.Sprintf("exhaust-%05d", i))); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("8 KiB region absorbed 10000 inserts")
+	}
+	// Whatever made it in must still visit in order.
+	var prev []byte
+	x.Visit(nil, func(k []byte) bool {
+		if prev != nil && bytes.Compare(prev, k) >= 0 {
+			t.Fatalf("order broken after exhaustion: %q then %q", prev, k)
+		}
+		prev = append(prev[:0], k...)
+		return true
+	})
+}

@@ -20,6 +20,12 @@ func FuzzDecodeRequests(f *testing.F) {
 		{Op: OpPut, Key: []byte("bbbb"), Value: bytes.Repeat([]byte{7}, 64)},
 	})
 	f.Add(seed2)
+	scanParam, _ := EncodeScanParam(100, []byte("resume-here"))
+	seed3, _ := AppendRequests(nil, []Request{
+		{Op: OpScan, Key: []byte("start"), Value: scanParam},
+		{Op: OpScan, Key: nil, Value: []byte{1, 0}},
+	})
+	f.Add(seed3)
 	f.Add([]byte{})
 	f.Add([]byte{0x56, 0x4B, 1, 0, 0})
 
@@ -57,6 +63,12 @@ func FuzzDecodeResponses(f *testing.F) {
 		{Status: StatusNotFound},
 	})
 	f.Add(seed)
+	page, _ := EncodeScanPage([]ScanEntry{
+		{Key: []byte("a"), Value: []byte("1")},
+		{Key: []byte("b"), Value: bytes.Repeat([]byte{9}, 300)},
+	}, []byte("cursor"))
+	seedScan, _ := AppendResponses(nil, []Response{{Status: StatusOK, Value: page}})
+	f.Add(seedScan)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, pkt []byte) {
 		resps, err := DecodeResponses(pkt)
@@ -69,6 +81,67 @@ func FuzzDecodeResponses(f *testing.F) {
 		}
 		if _, err := DecodeResponses(re); err != nil {
 			t.Fatalf("re-encoded responses rejected: %v", err)
+		}
+	})
+}
+
+// FuzzDecodeScanParam: the scan-parameter decoder must never panic, and
+// any parameter it accepts must round-trip through the encoder.
+func FuzzDecodeScanParam(f *testing.F) {
+	p1, _ := EncodeScanParam(1, nil)
+	p2, _ := EncodeScanParam(0xFFFF, bytes.Repeat([]byte{0xAB}, MaxScanCursorLen))
+	f.Add(p1)
+	f.Add(p2)
+	f.Add([]byte{})
+	f.Add([]byte{0})                                             // truncated limit
+	f.Add([]byte{0, 0})                                          // zero limit
+	f.Add(append([]byte{1, 0}, bytes.Repeat([]byte{1}, 300)...)) // oversized cursor
+	f.Fuzz(func(t *testing.T, v []byte) {
+		limit, cursor, err := DecodeScanParam(v)
+		if err != nil {
+			return
+		}
+		re, err := EncodeScanParam(limit, cursor)
+		if err != nil {
+			t.Fatalf("accepted parameter failed to re-encode: %v", err)
+		}
+		limit2, cursor2, err := DecodeScanParam(re)
+		if err != nil {
+			t.Fatalf("re-encoded parameter rejected: %v", err)
+		}
+		if limit2 != limit || !bytes.Equal(cursor2, cursor) {
+			t.Fatalf("round trip changed parameter: (%d,%q) -> (%d,%q)",
+				limit, cursor, limit2, cursor2)
+		}
+	})
+}
+
+// FuzzDecodeScanPage: the scan-page decoder must never panic, and any
+// page it accepts must round-trip bit-exactly.
+func FuzzDecodeScanPage(f *testing.F) {
+	p1, _ := EncodeScanPage(nil, nil)
+	p2, _ := EncodeScanPage([]ScanEntry{
+		{Key: []byte("k"), Value: []byte("v")},
+		{Key: bytes.Repeat([]byte{0xFF}, 255), Value: nil},
+	}, bytes.Repeat([]byte{0xFF}, MaxScanCursorLen))
+	f.Add(p1)
+	f.Add(p2)
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0})                                          // claims 1 entry, has none
+	f.Add([]byte{0, 0, 44, 1})                                         // cursor longer than max
+	f.Add(append([]byte{0, 0, 4, 0}, 'c', 'u'))                        // truncated cursor
+	f.Add(append([]byte{1, 0, 0, 0, 5, 0xFF, 0xFF}, []byte("abc")...)) // entry bigger than page
+	f.Fuzz(func(t *testing.T, v []byte) {
+		entries, cursor, err := DecodeScanPage(v)
+		if err != nil {
+			return
+		}
+		re, err := EncodeScanPage(entries, cursor)
+		if err != nil {
+			t.Fatalf("accepted page failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, v) {
+			t.Fatalf("scan page not canonical: % x -> % x", v, re)
 		}
 	})
 }

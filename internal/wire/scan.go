@@ -1,0 +1,177 @@
+package wire
+
+// Ordered range scans (OpScan) ride the standard op framing: the request
+// key is the start key and the request value carries the scan parameter —
+// the page limit and an optional continuation cursor. The response value
+// is a scan page: a cursor (empty = exhausted) followed by the entries in
+// ascending key order.
+//
+//	param := limit u16 | cursor [rest]
+//	page  := nentries u16 | curlen u16 | cursor [curlen]
+//	         | (klen u8 | vlen u16 | key | value)*
+//
+// A cursor is a resume position: the smallest key NOT yet returned, so a
+// follow-up scan starting at the cursor (inclusive) continues exactly
+// where the page ended. Cursors are at most MaxScanCursorLen bytes (the
+// successor of a maximum-length key).
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+const (
+	// MaxScanCursorLen bounds a continuation cursor: the byte-successor of
+	// a maximum-length 255-byte key is 256 bytes.
+	MaxScanCursorLen = 256
+
+	// MaxScanLimit is the largest page limit a scan parameter can carry.
+	MaxScanLimit = 0xFFFF
+
+	// scanParamFixed is the fixed parameter prefix (limit u16).
+	scanParamFixed = 2
+	// scanPageFixed is the fixed page prefix (nentries u16 + curlen u16).
+	scanPageFixed = 4
+	// scanEntryFixed is the per-entry header (klen u8 + vlen u16).
+	scanEntryFixed = 3
+)
+
+// MaxScanDataBytes is the page budget left for entries once the fixed
+// prefix and a worst-case cursor are reserved inside the 64 KiB response
+// value cap. Servers sizing pages against this bound can always attach a
+// cursor without overflowing the response.
+const MaxScanDataBytes = 0xFFFF - scanPageFixed - MaxScanCursorLen
+
+// Scan codec errors.
+var (
+	ErrScanParam  = errors.New("wire: malformed scan parameter")
+	ErrScanLimit  = errors.New("wire: scan limit must be in 1..65535")
+	ErrScanCursor = errors.New("wire: scan cursor exceeds 256 bytes")
+	ErrScanPage   = errors.New("wire: malformed scan page")
+)
+
+// ScanEntry is one key/value pair in a scan page.
+type ScanEntry struct {
+	Key   []byte
+	Value []byte
+}
+
+// EncodedSize returns the entry's on-the-wire footprint in a scan page.
+func (e ScanEntry) EncodedSize() int { return scanEntryFixed + len(e.Key) + len(e.Value) }
+
+// EncodeScanParam packs a page limit and an optional continuation cursor
+// into a request value. A nil cursor starts the scan at the request key.
+func EncodeScanParam(limit int, cursor []byte) ([]byte, error) {
+	if limit < 1 || limit > MaxScanLimit {
+		return nil, ErrScanLimit
+	}
+	if len(cursor) > MaxScanCursorLen {
+		return nil, ErrScanCursor
+	}
+	out := make([]byte, scanParamFixed+len(cursor))
+	binary.LittleEndian.PutUint16(out, uint16(limit))
+	copy(out[scanParamFixed:], cursor)
+	return out, nil
+}
+
+// DecodeScanParam unpacks a scan request value. The returned cursor is
+// nil when the scan starts at the request key.
+func DecodeScanParam(v []byte) (limit int, cursor []byte, err error) {
+	if len(v) < scanParamFixed {
+		return 0, nil, ErrScanParam
+	}
+	limit = int(binary.LittleEndian.Uint16(v))
+	if limit < 1 {
+		return 0, nil, ErrScanLimit
+	}
+	rest := v[scanParamFixed:]
+	if len(rest) > MaxScanCursorLen {
+		return 0, nil, ErrScanCursor
+	}
+	if len(rest) == 0 {
+		return limit, nil, nil
+	}
+	return limit, rest[:len(rest):len(rest)], nil
+}
+
+// EncodeScanPage packs entries (already in ascending key order) and a
+// continuation cursor into a response value. An empty cursor means the
+// scan is exhausted.
+func EncodeScanPage(entries []ScanEntry, cursor []byte) ([]byte, error) {
+	if len(entries) > 0xFFFF {
+		return nil, ErrTooManyOps
+	}
+	if len(cursor) > MaxScanCursorLen {
+		return nil, ErrScanCursor
+	}
+	size := scanPageFixed + len(cursor)
+	for _, e := range entries {
+		if len(e.Key) > 255 {
+			return nil, ErrKeyTooLong
+		}
+		if len(e.Value) > 0xFFFF {
+			return nil, ErrValTooLong
+		}
+		size += e.EncodedSize()
+	}
+	if size > 0xFFFF {
+		return nil, ErrValTooLong
+	}
+	out := make([]byte, 0, size)
+	var hdr [scanPageFixed]byte
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(len(entries)))
+	binary.LittleEndian.PutUint16(hdr[2:], uint16(len(cursor)))
+	out = append(out, hdr[:]...)
+	out = append(out, cursor...)
+	for _, e := range entries {
+		var eh [scanEntryFixed]byte
+		eh[0] = uint8(len(e.Key))
+		binary.LittleEndian.PutUint16(eh[1:], uint16(len(e.Value)))
+		out = append(out, eh[:]...)
+		out = append(out, e.Key...)
+		out = append(out, e.Value...)
+	}
+	return out, nil
+}
+
+// DecodeScanPage unpacks a scan response value. The returned cursor is
+// nil when the scan is exhausted.
+func DecodeScanPage(v []byte) (entries []ScanEntry, cursor []byte, err error) {
+	if len(v) < scanPageFixed {
+		return nil, nil, ErrScanPage
+	}
+	count := int(binary.LittleEndian.Uint16(v[0:]))
+	curlen := int(binary.LittleEndian.Uint16(v[2:]))
+	if curlen > MaxScanCursorLen {
+		return nil, nil, ErrScanCursor
+	}
+	p := v[scanPageFixed:]
+	if len(p) < curlen {
+		return nil, nil, ErrScanPage
+	}
+	if curlen > 0 {
+		cursor = p[:curlen:curlen]
+	}
+	p = p[curlen:]
+	entries = make([]ScanEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if len(p) < scanEntryFixed {
+			return nil, nil, ErrScanPage
+		}
+		klen := int(p[0])
+		vlen := int(binary.LittleEndian.Uint16(p[1:]))
+		p = p[scanEntryFixed:]
+		if len(p) < klen+vlen {
+			return nil, nil, ErrScanPage
+		}
+		entries = append(entries, ScanEntry{
+			Key:   p[:klen:klen],
+			Value: p[klen : klen+vlen : klen+vlen],
+		})
+		p = p[klen+vlen:]
+	}
+	if len(p) != 0 {
+		return nil, nil, ErrScanPage
+	}
+	return entries, cursor, nil
+}

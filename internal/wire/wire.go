@@ -54,6 +54,9 @@ const (
 	// ElemWidth 0 registers an update function, 1 a filter predicate
 	OpStats     // fetch server counters (response value: key=value lines)
 	OpTelemetry // fetch the full telemetry snapshot (response value: JSON)
+	OpScan      // ordered range scan: Key = start, Value = scan parameter
+	// (limit + continuation cursor, see scan.go); the response value is an
+	// encoded scan page
 	opMax
 )
 
@@ -81,6 +84,8 @@ func (o OpCode) String() string {
 		return "STATS"
 	case OpTelemetry:
 		return "TELEMETRY"
+	case OpScan:
+		return "SCAN"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -90,7 +95,9 @@ func (o OpCode) String() string {
 func (o OpCode) Valid() bool { return o >= OpGet && o < opMax }
 
 // HasValue reports whether the op carries a value payload on the wire.
-func (o OpCode) HasValue() bool { return o == OpPut || o == OpUpdateV2V }
+// A SCAN's "value" is its encoded parameter (limit + cursor), which rides
+// the existing value field so the framing needs no new shape.
+func (o OpCode) HasValue() bool { return o == OpPut || o == OpUpdateV2V || o == OpScan }
 
 // HasFunc reports whether the op references a registered λ.
 func (o OpCode) HasFunc() bool { return o >= OpUpdateScalar && o <= OpRegister }

@@ -27,8 +27,9 @@ const (
 
 // Op is one generated operation.
 type Op struct {
-	Kind  Kind
-	KeyID uint64 // in [0, Keys)
+	Kind    Kind
+	KeyID   uint64 // in [0, Keys)
+	ScanLen int    // Scan ops only: entries to return, drawn per op
 }
 
 // Config parameterizes a Generator.

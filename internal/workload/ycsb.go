@@ -18,10 +18,9 @@ const (
 	YCSBC
 	// YCSBD: read latest — 95% reads skewed to recent inserts, 5% inserts.
 	YCSBD
-	// YCSBE: short ranges — 95% scans, 5% inserts. (Scans map to the
-	// hash table's Scan walk; KV-Direct's hash index has no ordered
-	// ranges, so a scan op visits ScanLen arbitrary-order entries, as a
-	// hash-based YCSB binding does.)
+	// YCSBE: short ranges — 95% scans, 5% inserts. Scans are real
+	// ordered ranges over the store's ordered secondary index, each
+	// visiting a uniformly drawn 1..100 entries (the YCSB core default).
 	YCSBE
 	// YCSBF: read-modify-write — 50% reads, 50% RMW, Zipf.
 	YCSBF
@@ -49,13 +48,13 @@ func (p Preset) String() string {
 // Extended op kinds for the YCSB presets (Get and Put come from Kind).
 const (
 	Insert Kind = iota + 2 // insert a fresh key (D/E)
-	Scan                   // visit ScanLen entries (E)
+	Scan                   // ordered range of Op.ScanLen entries (E)
 	RMW                    // read-modify-write one key (F)
 )
 
-// ScanLen is the entries visited per Scan op (YCSB default ~ zipf with
-// mean 50; fixed here for determinism).
-const ScanLen = 50
+// maxScanLen caps a scan op's range length; YCSB core draws scan lengths
+// uniformly from [1, 100].
+const maxScanLen = 100
 
 // PresetGenerator produces a YCSB preset's op stream over a growing key
 // space.
@@ -109,7 +108,7 @@ func (pg *PresetGenerator) Next() Op {
 		return pg.insert()
 	case YCSBE:
 		if r < 0.95 {
-			return Op{Kind: Scan, KeyID: pg.uniformKey()}
+			return Op{Kind: Scan, KeyID: pg.uniformKey(), ScanLen: pg.scanLen()}
 		}
 		return pg.insert()
 	default: // YCSBF
@@ -130,6 +129,11 @@ func (pg *PresetGenerator) zipfKey() uint64 { return pg.g.NextKey() }
 
 func (pg *PresetGenerator) uniformKey() uint64 {
 	return uint64(pg.g.rng.Int63n(int64(pg.maxKey)))
+}
+
+// scanLen draws one scan's range length, uniform over [1, maxScanLen].
+func (pg *PresetGenerator) scanLen() int {
+	return 1 + pg.g.rng.Intn(maxScanLen)
 }
 
 // latestKey skews toward recently inserted ids (YCSB-D's "read latest"):

@@ -30,6 +30,9 @@
 package kvdirect
 
 import (
+	"bytes"
+	"fmt"
+
 	"kvdirect/internal/core"
 	"kvdirect/internal/fault"
 	"kvdirect/internal/wire"
@@ -136,6 +139,10 @@ const (
 	// OpTelemetry fetches the unified telemetry snapshot as JSON (see
 	// internal/telemetry); fails unless a registry is attached.
 	OpTelemetry = OpCode(wire.OpTelemetry)
+	// OpScan performs an ordered range scan: Key is the start key and
+	// Value an encoded scan parameter (build with ScanOp); the response
+	// value is a scan page (decode with DecodeScanResult).
+	OpScan = OpCode(wire.OpScan)
 )
 
 // Result status codes.
@@ -199,6 +206,79 @@ func fromWire(resps []wire.Response) []Result {
 		out[i] = Result{Status: r.Status, Value: r.Value}
 	}
 	return out
+}
+
+// ScanEntry is one key/value pair returned by an ordered range scan.
+type ScanEntry = wire.ScanEntry
+
+// ScanOp builds a SCAN operation: up to limit pairs in ascending key
+// order starting at the first key >= start. Pass the cursor from a prior
+// page's DecodeScanResult to continue a paged scan (nil for the first
+// page).
+func ScanOp(start []byte, limit int, cursor []byte) (Op, error) {
+	param, err := wire.EncodeScanParam(limit, cursor)
+	if err != nil {
+		return Op{}, err
+	}
+	return Op{Code: OpScan, Key: start, Value: param}, nil
+}
+
+// DecodeScanResult unpacks a SCAN result into its entries and the
+// continuation cursor (nil when the scan is exhausted).
+func DecodeScanResult(r Result) ([]ScanEntry, []byte, error) {
+	if r.Status != StatusOK {
+		return nil, nil, fmt.Errorf("kvdirect: scan failed: %s", r.Value)
+	}
+	return wire.DecodeScanPage(r.Value)
+}
+
+// MergeScanPages k-way merges per-shard scan pages (each sorted
+// ascending) into one globally ordered page of at most limit entries.
+// The returned cursor is the smallest key not included — either because
+// the limit cut it off or because some shard reported its own
+// continuation cursor — or nil when every shard is exhausted and all
+// entries fit. Callers resume by scanning every shard again from the
+// cursor.
+func MergeScanPages(pages [][]ScanEntry, cursors [][]byte, limit int) ([]ScanEntry, []byte) {
+	// A shard that truncated its page may hold unreturned keys starting
+	// at its cursor, possibly below other shards' later entries — so only
+	// keys strictly below the smallest shard cursor are provably complete
+	// across all shards and safe to emit.
+	var bound []byte
+	for _, c := range cursors {
+		if len(c) > 0 && (bound == nil || bytes.Compare(c, bound) < 0) {
+			bound = c
+		}
+	}
+	heads := make([]int, len(pages))
+	var out []ScanEntry
+	for len(out) < limit {
+		best := -1
+		for i, p := range pages {
+			if heads[i] >= len(p) {
+				continue
+			}
+			if best < 0 || bytes.Compare(p[heads[i]].Key, pages[best][heads[best]].Key) < 0 {
+				best = i
+			}
+		}
+		if best < 0 || (bound != nil && bytes.Compare(pages[best][heads[best]].Key, bound) >= 0) {
+			break
+		}
+		out = append(out, pages[best][heads[best]])
+		heads[best]++
+	}
+	// Resume point: the smallest key not emitted — a withheld entry or
+	// the bound itself — nil when every shard is exhausted and merged.
+	next := bound
+	for i, p := range pages {
+		if heads[i] < len(p) {
+			if next == nil || bytes.Compare(p[heads[i]].Key, next) < 0 {
+				next = p[heads[i]].Key
+			}
+		}
+	}
+	return out, next
 }
 
 // Execute runs a batch of operations against a local store in order,

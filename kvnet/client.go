@@ -502,6 +502,45 @@ func (c *Client) Reduce(key []byte, fnID, elemWidth uint8, init uint64) (uint64,
 	return binary.LittleEndian.Uint64(r.Value), nil
 }
 
+// ScanPage fetches one page of an ordered range scan: up to limit pairs
+// in ascending key order starting at the first key >= start (or at the
+// continuation cursor from a prior page, when non-nil). The returned
+// cursor is nil once the key space is exhausted. Scans are read-only and
+// therefore retried like GETs.
+func (c *Client) ScanPage(start []byte, limit int, cursor []byte) ([]kvdirect.ScanEntry, []byte, error) {
+	op, err := kvdirect.ScanOp(start, limit, cursor)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := c.Do([]kvdirect.Op{op})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := asNotPrimary(res[0]); err != nil {
+		return nil, nil, err
+	}
+	return kvdirect.DecodeScanResult(res[0])
+}
+
+// Scan fetches up to limit ordered pairs starting at start, following
+// continuation cursors across as many pages as needed.
+func (c *Client) Scan(start []byte, limit int) ([]kvdirect.ScanEntry, error) {
+	var out []kvdirect.ScanEntry
+	cursor := []byte(nil)
+	for len(out) < limit {
+		entries, next, err := c.ScanPage(start, limit-len(out), cursor)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entries...)
+		if next == nil {
+			break
+		}
+		cursor = next
+	}
+	return out, nil
+}
+
 // Stats fetches the server's counters as key=value lines — the NIC's
 // status registers, over the wire.
 func (c *Client) Stats() (string, error) {

@@ -193,6 +193,54 @@ func (sc *ShardedClient) FetchAdd(key []byte, delta uint64) (uint64, error) {
 	return old, nil
 }
 
+// ScanPage fetches one globally ordered page: up to limit pairs in
+// ascending key order starting at the first key >= start. Keys are
+// hash-partitioned, so the scan fans out to every shard (each scan rides
+// replicaSet.do — NotPrimary redirects route it to the shard's primary)
+// and the per-shard ordered pages are k-way merged. The returned cursor
+// is the smallest key not yet returned; resume by passing it as start.
+func (sc *ShardedClient) ScanPage(start []byte, limit int) ([]kvdirect.ScanEntry, []byte, error) {
+	op, err := kvdirect.ScanOp(start, limit, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	pages := make([][]kvdirect.ScanEntry, len(sc.shards))
+	cursors := make([][]byte, len(sc.shards))
+	for i, rs := range sc.shards {
+		res, err := rs.do([]kvdirect.Op{op})
+		if err != nil {
+			return nil, nil, fmt.Errorf("kvnet: shard %d scan: %w", i, err)
+		}
+		entries, cur, err := kvdirect.DecodeScanResult(res[0])
+		if err != nil {
+			return nil, nil, fmt.Errorf("kvnet: shard %d scan: %w", i, err)
+		}
+		pages[i] = entries
+		cursors[i] = cur
+	}
+	entries, next := kvdirect.MergeScanPages(pages, cursors, limit)
+	return entries, next, nil
+}
+
+// Scan fetches up to limit globally ordered pairs starting at start,
+// following continuation cursors across as many pages as needed.
+func (sc *ShardedClient) Scan(start []byte, limit int) ([]kvdirect.ScanEntry, error) {
+	var out []kvdirect.ScanEntry
+	cur := start
+	for len(out) < limit {
+		entries, next, err := sc.ScanPage(cur, limit-len(out))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, entries...)
+		if next == nil {
+			break
+		}
+		cur = next
+	}
+	return out, nil
+}
+
 // Do splits a batch by owning shard, issues the per-shard sub-batches
 // and reassembles results in the original order. Cross-key ordering
 // within the batch is preserved per shard only — the same guarantee a

@@ -59,7 +59,7 @@ func TestTraceRecordReplayRoundTrip(t *testing.T) {
 	if src.NumKeys() != dst.NumKeys() {
 		t.Fatalf("key counts differ: %d vs %d", src.NumKeys(), dst.NumKeys())
 	}
-	src.Scan(func(k, v []byte) bool {
+	src.Walk(func(k, v []byte) bool {
 		got, ok := dst.Get(k)
 		if !ok || !bytes.Equal(got, v) {
 			t.Fatalf("replayed store differs at %q", k)
