@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-new lint-fix test race chaos chaos-migrate chaos-scan bench bench-scan telemetry check clean
+.PHONY: build vet lint lint-new lint-fix test race chaos chaos-migrate chaos-scan bench bench-scan bench-gateway gateway telemetry check clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,17 @@ bench:
 # merged into BENCH_results.json.
 bench-scan:
 	$(GO) run ./cmd/kvdbench -json bench scan
+
+# Memcache-gateway translation cost (single ops and the quiet-pipelined
+# batch path), merged into BENCH_results.json.
+bench-gateway:
+	$(GO) run ./cmd/kvdbench -json bench gateway
+
+# The whole protocol-gateway suite under the race detector: codecs and
+# fuzz seeds, tenant registry/quotas, stock-framing round trips, the
+# memcache-vs-native differential, isolation and replica failover.
+gateway:
+	$(GO) test -race -count=1 ./kvgw/
 
 # Telemetry smoke: the unit suite plus the overhead guard — the
 # disabled-sampling hot path must stay at 0 allocs/op (see DESIGN.md

@@ -225,6 +225,8 @@ func runBenchmarks(asJSON bool, filter string) error {
 		}
 	})
 
+	addGatewayBenchmarks(add)
+
 	if !asJSON {
 		return nil
 	}

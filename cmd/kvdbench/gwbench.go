@@ -1,0 +1,112 @@
+package main
+
+import (
+	"testing"
+
+	"kvdirect"
+	"kvdirect/kvgw"
+	"kvdirect/kvnet"
+)
+
+// benchGateway stands up a store, a kvnet server and a kvgw gateway,
+// dials an authenticated memcache client and hands it to the benchmark
+// body. Every op measured here crosses two protocol hops (memcache
+// binary → native wire), so the delta against put/single-store-net is
+// the gateway translation cost.
+func benchGateway(b *testing.B, fn func(b *testing.B, cl *kvgw.Client)) {
+	s, err := kvdirect.New(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	srv, err := kvnet.Serve(s, "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	reg, err := kvgw.NewRegistry(kvgw.RegistryConfig{AutoCreate: true}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gw, err := kvgw.Serve(srv, reg, "127.0.0.1:0", kvgw.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	cl, err := kvgw.DialClient(gw.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Auth("bench", ""); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	fn(b, cl)
+}
+
+// addGatewayBenchmarks registers the memcache-gateway rows ('bench
+// gateway' selects exactly these; 'make bench-gateway' merges them into
+// BENCH_results.json).
+func addGatewayBenchmarks(add func(name string, fn func(b *testing.B))) {
+	add("gateway/set", func(b *testing.B) {
+		benchGateway(b, func(b *testing.B, cl *kvgw.Client) {
+			v := benchVal()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cl.Store(kvgw.CmdSet, benchKey(i), v, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+
+	add("gateway/get", func(b *testing.B) {
+		benchGateway(b, func(b *testing.B, cl *kvgw.Client) {
+			b.StopTimer()
+			v := benchVal()
+			for i := 0; i < 4096; i++ {
+				if _, _, err := cl.Store(kvgw.CmdSet, benchKey(i), v, 0, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, found, err := cl.Get(benchKey(i)); err != nil || !found {
+					b.Fatalf("get: found=%v err=%v", found, err)
+				}
+			}
+		})
+	})
+
+	// One op = one 32-item quiet pipeline (SETQ×32 + NOOP), the
+	// gateway's batched fast path; compare per-item cost against
+	// gateway/set to see what quiet coalescing buys.
+	add("gateway/setq-batch32", func(b *testing.B) {
+		benchGateway(b, func(b *testing.B, cl *kvgw.Client) {
+			const batch = 32
+			keys := make([][]byte, batch)
+			vals := make([][]byte, batch)
+			v := benchVal()
+			for i := range keys {
+				keys[i] = benchKey(i)
+				vals[i] = v
+			}
+			for i := 0; i < b.N; i++ {
+				if errs, err := cl.SetBatch(keys, vals, 0); err != nil || errs != 0 {
+					b.Fatalf("setq batch: errs=%d err=%v", errs, err)
+				}
+			}
+		})
+	})
+
+	add("gateway/incr", func(b *testing.B) {
+		benchGateway(b, func(b *testing.B, cl *kvgw.Client) {
+			key := []byte("bench-counter")
+			for i := 0; i < b.N; i++ {
+				if _, _, st, err := cl.Counter(key, true, 1, 0, true); err != nil || st != kvgw.StatusOK {
+					b.Fatalf("incr: status %#04x err=%v", st, err)
+				}
+			}
+		})
+	})
+}

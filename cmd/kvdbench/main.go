@@ -103,8 +103,9 @@ func usage() {
 usage: kvdbench [-quick] [-seed N] [-json] <experiment>... | all | list | bench [filter]
 
 'bench' runs micro-benchmarks (single-store vs replicated writes, scan
-throughput); an optional filter selects benchmarks by name-substring
-(e.g. 'bench scan'). With -json the results are merged by name into
+throughput, memcache-gateway translation cost); an optional filter
+selects benchmarks by name-substring (e.g. 'bench scan' or 'bench
+gateway'). With -json the results are merged by name into
 BENCH_results.json.
 
 experiments:

@@ -25,6 +25,11 @@
 //	                          replica and the coordinator)
 //	bench <n>                 time n pipelined PUT+GET pairs
 //
+// Against a kvdserver -memcache gateway, mcstat authenticates as a
+// tenant and prints its STAT block (usage, quotas, hit counts):
+//
+//	kvdcli -mc host:11211 mcstat <tenant> [secret]
+//
 // Against a replicated kvdserver (-replicas n -admin host:port), the
 // migrate command drives the admin endpoint instead of the data port:
 //
@@ -51,12 +56,24 @@ import (
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7890", "server address")
 	admin := flag.String("admin", "", "kvdserver admin address (for the migrate command)")
+	mc := flag.String("mc", "", "kvgw memcache gateway address (for the mcstat command)")
 	flag.Parse()
 
 	// migrate talks HTTP to the admin endpoint, not the data port —
 	// dispatch it before dialing so it works while routes are in flux.
 	if args := flag.Args(); len(args) > 0 && args[0] == "migrate" {
 		if err := runMigrate(*admin, args[1:]); err != nil {
+			log.Fatalf("kvdcli: %v", err)
+		}
+		return
+	}
+	// mcstat speaks the memcache binary protocol to a kvgw gateway, not
+	// the native wire — dispatch it before the kvnet dial too.
+	if args := flag.Args(); len(args) > 0 && args[0] == "mcstat" {
+		if *mc == "" {
+			log.Fatalf("kvdcli: mcstat needs -mc host:port (the kvdserver -memcache address)")
+		}
+		if err := runMcstat(*mc, args[1:]); err != nil {
 			log.Fatalf("kvdcli: %v", err)
 		}
 		return

@@ -13,6 +13,11 @@
 // demonstrates the whole stack. -record captures every batch the run
 // phase sends into a replayable trace; -replay streams a captured trace
 // back at the server instead of generating fresh load.
+//
+// With -memcache it instead drives a kvgw memcache-binary gateway at
+// -addr as a Zipf-skewed fleet of -mctenants tenants (quiet-pipelined
+// GET/SET batches over SASL-authenticated connections); -selfserve
+// launches the gateway in-process with an auto-create registry.
 package main
 
 import (
@@ -28,6 +33,7 @@ import (
 	"kvdirect"
 	"kvdirect/internal/stats"
 	"kvdirect/internal/workload"
+	"kvdirect/kvgw"
 	"kvdirect/kvnet"
 )
 
@@ -98,7 +104,37 @@ func main() {
 	selfServe := flag.Bool("selfserve", false, "launch an in-process server")
 	record := flag.String("record", "", "record every batch to a trace file")
 	replay := flag.String("replay", "", "replay a recorded trace instead of generating load")
+	mcMode := flag.Bool("memcache", false, "drive a kvgw memcache gateway at -addr as a multi-tenant fleet")
+	mcTenants := flag.Int("mctenants", 1000, "memcache mode: tenant count (zipf-skewed popularity)")
+	mcKeys := flag.Int("mckeys", 1000, "memcache mode: keys per tenant")
 	flag.Parse()
+
+	if *mcMode {
+		if *selfServe {
+			store, err := kvdirect.New(kvdirect.Config{MemoryBytes: 256 << 20})
+			if err != nil {
+				log.Fatalf("kvdload: %v", err)
+			}
+			srv, err := kvnet.Serve(store, "127.0.0.1:0")
+			if err != nil {
+				log.Fatalf("kvdload: %v", err)
+			}
+			defer srv.Close()
+			reg, err := kvgw.NewRegistry(kvgw.RegistryConfig{AutoCreate: true}, nil)
+			if err != nil {
+				log.Fatalf("kvdload: %v", err)
+			}
+			gw, err := kvgw.Serve(srv, reg, "127.0.0.1:0", kvgw.Options{})
+			if err != nil {
+				log.Fatalf("kvdload: %v", err)
+			}
+			defer gw.Close()
+			*addr = gw.Addr()
+			log.Printf("kvdload: in-process memcache gateway on %s", *addr)
+		}
+		runMemcacheFleet(*addr, *mcTenants, *ops, *mcKeys, *valSize, *batch, *clients, *seed)
+		return
+	}
 
 	preset, err := parsePreset(*wl)
 	if err != nil {

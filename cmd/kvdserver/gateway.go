@@ -1,0 +1,43 @@
+package main
+
+import (
+	"log"
+
+	"kvdirect/kvgw"
+)
+
+// loadTenants builds the gateway's tenant registry: from the -tenants
+// JSON file when given, otherwise an open registry that auto-creates a
+// tenant per SASL identity with no quota — the zero-config mode for
+// local runs.
+func loadTenants(path string) *kvgw.Registry {
+	if path == "" {
+		reg, err := kvgw.NewRegistry(kvgw.RegistryConfig{AutoCreate: true}, nil)
+		if err != nil {
+			log.Fatalf("kvdserver: tenant registry: %v", err)
+		}
+		return reg
+	}
+	reg, err := kvgw.LoadRegistry(path, nil)
+	if err != nil {
+		log.Fatalf("kvdserver: -tenants %s: %v", path, err)
+	}
+	return reg
+}
+
+// startGateway serves the memcache binary protocol on addr, translating
+// onto the given backend (a kvnet server or client — anything that can
+// run an op batch).
+func startGateway(addr, tenantsPath string, backend kvgw.Backend) *kvgw.Gateway {
+	reg := loadTenants(tenantsPath)
+	gw, err := kvgw.Serve(backend, reg, addr, kvgw.Options{})
+	if err != nil {
+		log.Fatalf("kvdserver: memcache gateway: %v", err)
+	}
+	mode := "auto-create"
+	if tenantsPath != "" {
+		mode = tenantsPath
+	}
+	log.Printf("kvdserver: memcache gateway on %s (tenants: %s)", gw.Addr(), mode)
+	return gw
+}

@@ -23,6 +23,13 @@
 // /migrations, and POST /migrate?shard=N to live-migrate a shard onto a
 // fresh replica group (see kvdcli migrate). In replicated mode -metrics
 // merges every replica and the coordinator into one scrape.
+//
+// With -memcache the process additionally serves the memcache binary
+// protocol through the kvgw gateway — multi-tenant, SASL PLAIN
+// authenticated, namespaced onto the same store(s). -tenants points at
+// a kvgw registry JSON (names, secrets, quotas); without it the
+// gateway auto-creates an unlimited tenant per SASL identity. Gateway
+// and per-tenant telemetry merge into the same -metrics scrape.
 package main
 
 import (
@@ -36,6 +43,7 @@ import (
 	"strconv"
 
 	"kvdirect"
+	"kvdirect/kvgw"
 	"kvdirect/kvnet"
 )
 
@@ -52,6 +60,8 @@ func main() {
 	traceSample := flag.Uint64("trace-sample", 0, "server-sample one batch in N for the trace ring (0 disables)")
 	replicas := flag.Int("replicas", 1, "replicas per shard; >1 runs each shard as a kvrepl replica group")
 	adminAddr := flag.String("admin", "", "replicated mode: serve /routes, /migrations and POST /migrate on this address")
+	memcacheAddr := flag.String("memcache", "", "serve the memcache binary protocol on this address (empty disables)")
+	tenants := flag.String("tenants", "", "tenant registry JSON for the memcache gateway (default: auto-create, no quotas)")
 	flag.Parse()
 
 	cfg := kvdirect.Config{
@@ -75,7 +85,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("kvdserver: bad port: %v", err)
 		}
-		runReplicated(host, basePort, *shards, *replicas, cfg, *metricsAddr, *adminAddr)
+		runReplicated(host, basePort, *shards, *replicas, cfg, *metricsAddr, *adminAddr, *memcacheAddr, *tenants)
 		return
 	}
 	if *adminAddr != "" {
@@ -107,14 +117,43 @@ func main() {
 			i+1, *shards, *mem>>20, srv.Addr())
 	}
 
+	// The memcache gateway fronts shard 0's server directly when there
+	// is one shard, otherwise a loopback sharded client so gateway ops
+	// route by key exactly like native clients.
+	var gateway *kvgw.Gateway
+	if *memcacheAddr != "" {
+		var backend kvgw.Backend = servers[0]
+		if *shards > 1 {
+			addrs := make([]string, *shards)
+			for i, srv := range servers {
+				addrs[i] = srv.Addr()
+			}
+			sc, err := kvnet.DialShards(addrs)
+			if err != nil {
+				log.Fatalf("kvdserver: gateway loopback: %v", err)
+			}
+			defer sc.Close()
+			backend = sc
+		}
+		gateway = startGateway(*memcacheAddr, *tenants, backend)
+		defer gateway.Close()
+	}
+
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
 			log.Fatalf("kvdserver: metrics listener: %v", err)
 		}
+		sources := make([]kvnet.SnapshotSource, 0, len(servers)+1)
+		for _, srv := range servers {
+			sources = append(sources, srv)
+		}
+		if gateway != nil {
+			sources = append(sources, gateway)
+		}
 		log.Printf("kvdserver: telemetry on http://%s/metrics", ln.Addr())
 		go func() {
-			if err := http.Serve(ln, kvnet.NewTelemetryHandler(servers...)); err != nil {
+			if err := http.Serve(ln, kvnet.NewTelemetrySourcesHandler(sources...)); err != nil {
 				log.Printf("kvdserver: metrics server: %v", err)
 			}
 		}()

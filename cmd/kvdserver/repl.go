@@ -13,6 +13,7 @@ import (
 
 	"kvdirect"
 	"kvdirect/internal/telemetry"
+	"kvdirect/kvgw"
 	"kvdirect/kvnet"
 	"kvdirect/kvrepl"
 )
@@ -40,7 +41,7 @@ func (f snapshotFn) TelemetrySnapshot() telemetry.Snapshot { return f() }
 
 // runReplicated serves every shard as a replica group and blocks until
 // interrupted.
-func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Config, metricsAddr, adminAddr string) {
+func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Config, metricsAddr, adminAddr, memcacheAddr, tenantsPath string) {
 	d := &replDeployment{
 		coord:    kvrepl.NewCoordinator(kvrepl.CoordOptions{}),
 		cfg:      cfg,
@@ -73,8 +74,36 @@ func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Con
 		d.groups[s] = g
 	}
 
+	// The gateway fronts a loopback replica-aware client whose routes
+	// the coordinator refreshes on failover — memcache tenants ride
+	// through promotions the same way native clients do.
+	var gateway *kvgw.Gateway
+	if memcacheAddr != "" {
+		shardAddrs := make([]kvnet.ShardAddrs, shards)
+		for s := 0; s < shards; s++ {
+			shardAddrs[s] = d.groups[s].ShardAddrs()
+		}
+		sc, err := kvnet.DialReplicaShards(shardAddrs, kvnet.Options{})
+		if err != nil {
+			log.Fatalf("kvdserver: gateway loopback: %v", err)
+		}
+		defer sc.Close()
+		d.coord.OnRoute(func(shard int, addrs kvnet.ShardAddrs) {
+			log.Printf("kvdserver: shard %d routes to primary %s (backups %v)", shard, addrs.Primary, addrs.Backups)
+			if err := sc.UpdateShard(shard, addrs); err != nil {
+				log.Printf("kvdserver: gateway route update: %v", err)
+			}
+		})
+		gateway = startGateway(memcacheAddr, tenantsPath, sc)
+		defer gateway.Close()
+	}
+
 	if metricsAddr != "" {
-		serveHTTP("metrics", metricsAddr, kvnet.NewTelemetrySourcesHandler(snapshotFn(d.mergedSnapshot)))
+		sources := []kvnet.SnapshotSource{snapshotFn(d.mergedSnapshot)}
+		if gateway != nil {
+			sources = append(sources, gateway)
+		}
+		serveHTTP("metrics", metricsAddr, kvnet.NewTelemetrySourcesHandler(sources...))
 	}
 	if adminAddr != "" {
 		serveHTTP("admin", adminAddr, d.adminHandler())

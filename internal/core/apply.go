@@ -153,6 +153,12 @@ func (s *Store) applyOp(req wire.Request) wire.Response {
 	case wire.OpTelemetry:
 		return s.telemetrySnapshot()
 
+	case wire.OpPutVer:
+		return s.applyPutVer(req)
+
+	case wire.OpCounterVer:
+		return s.applyCounterVer(req)
+
 	case wire.OpRegister:
 		src := string(req.Param)
 		var err error
@@ -195,6 +201,9 @@ func paramScalar(p []byte, width int) (uint64, error) {
 func errResp(err error) wire.Response {
 	if errors.Is(err, ErrNotFound) {
 		return wire.Response{Status: wire.StatusNotFound}
+	}
+	if errors.Is(err, ErrFull) {
+		return wire.Response{Status: wire.StatusFull, Value: []byte(err.Error())}
 	}
 	return wire.Response{Status: wire.StatusError, Value: []byte(err.Error())}
 }

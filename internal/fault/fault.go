@@ -84,6 +84,15 @@ const (
 	// receiving replica; the migrator must resume from the destination's
 	// surviving frontier (or re-send the snapshot).
 	ReplDestCrash
+	// GwDecodeCorrupt flips a byte in an inbound memcache binary frame
+	// after the gateway reads it off the wire, exercising the codec's
+	// malformed-header and unknown-opcode rejection paths under load.
+	GwDecodeCorrupt
+	// GwTenantQuotaExhausted forces one gateway admission check to report
+	// the tenant's quota as exhausted regardless of actual usage, so chaos
+	// runs can prove a throttled tenant maps to TEMPORARY_FAILURE without
+	// perturbing its neighbors.
+	GwTenantQuotaExhausted
 
 	// NumPoints is the number of injection points.
 	NumPoints
@@ -105,6 +114,11 @@ var pointNames = [NumPoints]string{
 	ReplMigrateStall:     "repl_migrate_stall",
 	ReplCutoverPartition: "repl_cutover_partition",
 	ReplDestCrash:        "repl_dest_crash",
+	// The gateway points keep one-dot counter names ("fault.gw_…"): the
+	// metric-name convention is layer.noun, with the layer here being the
+	// fault registry itself.
+	GwDecodeCorrupt:        "gw_decode_corrupt",
+	GwTenantQuotaExhausted: "gw_tenant_quota_exhausted",
 }
 
 func (p Point) String() string {

@@ -26,6 +26,14 @@ func FuzzDecodeRequests(f *testing.F) {
 		{Op: OpScan, Key: nil, Value: []byte{1, 0}},
 	})
 	f.Add(seed3)
+	pvParam, _ := EncodePutVerParam(PutVerCAS, 7)
+	pvVal, _ := EncodeGwValue(3, []byte("payload"))
+	ctrParam, _ := EncodeCounterParam(CounterIncr, 1, 0, true)
+	seed4, _ := AppendRequests(nil, []Request{
+		{Op: OpPutVer, Key: []byte("item"), Value: pvVal, Param: pvParam},
+		{Op: OpCounterVer, Key: []byte("ctr"), Param: ctrParam},
+	})
+	f.Add(seed4)
 	f.Add([]byte{})
 	f.Add([]byte{0x56, 0x4B, 1, 0, 0})
 
@@ -69,6 +77,13 @@ func FuzzDecodeResponses(f *testing.F) {
 	}, []byte("cursor"))
 	seedScan, _ := AppendResponses(nil, []Response{{Status: StatusOK, Value: page}})
 	f.Add(seedScan)
+	seedGw, _ := AppendResponses(nil, []Response{
+		{Status: StatusOK, Value: EncodePutVerReply(4, true, 20)},
+		{Status: StatusExists},
+		{Status: StatusOK, Value: EncodeCounterReply(11, 2)},
+		{Status: StatusBadDelta},
+	})
+	f.Add(seedGw)
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, pkt []byte) {
 		resps, err := DecodeResponses(pkt)

@@ -57,6 +57,8 @@ const (
 	OpScan      // ordered range scan: Key = start, Value = scan parameter
 	// (limit + continuation cursor, see scan.go); the response value is an
 	// encoded scan page
+	OpPutVer     // versioned conditional store (gateway CAS family, see gw.go)
+	OpCounterVer // versioned decimal counter incr/decr (see gw.go)
 	opMax
 )
 
@@ -86,6 +88,10 @@ func (o OpCode) String() string {
 		return "TELEMETRY"
 	case OpScan:
 		return "SCAN"
+	case OpPutVer:
+		return "PUTVER"
+	case OpCounterVer:
+		return "COUNTERVER"
 	default:
 		return fmt.Sprintf("OpCode(%d)", uint8(o))
 	}
@@ -96,8 +102,19 @@ func (o OpCode) Valid() bool { return o >= OpGet && o < opMax }
 
 // HasValue reports whether the op carries a value payload on the wire.
 // A SCAN's "value" is its encoded parameter (limit + cursor), which rides
-// the existing value field so the framing needs no new shape.
-func (o OpCode) HasValue() bool { return o == OpPut || o == OpUpdateV2V || o == OpScan }
+// the existing value field so the framing needs no new shape; a PUTVER's
+// value is the flags-prefixed new item.
+func (o OpCode) HasValue() bool {
+	return o == OpPut || o == OpUpdateV2V || o == OpScan || o == OpPutVer
+}
+
+// HasParam reports whether the op carries the funcID/elemWidth/param
+// trailer on the wire. The λ family does (HasFunc); the gateway ops
+// reuse the same trailer for their fixed-size condition/counter
+// parameters, so the framing again needs no new shape.
+func (o OpCode) HasParam() bool {
+	return o.HasFunc() || o == OpPutVer || o == OpCounterVer
+}
 
 // HasFunc reports whether the op references a registered λ.
 func (o OpCode) HasFunc() bool { return o >= OpUpdateScalar && o <= OpRegister }
@@ -134,6 +151,22 @@ const (
 	// retrying it elsewhere is always safe; the response value optionally
 	// carries the current primary's address as a redirect hint.
 	StatusNotPrimary uint8 = 3
+	// StatusExists rejects a versioned conditional store whose
+	// precondition failed against an EXISTING item: a CAS whose expected
+	// version no longer matches, or an add of a key already present.
+	// Nothing was applied; the memcache gateway maps it to KEY_EXISTS.
+	StatusExists uint8 = 4
+	// StatusNotStored rejects an append/prepend against a missing item
+	// (memcache ITEM_NOT_STORED): the op requires existing bytes to
+	// extend and there were none.
+	StatusNotStored uint8 = 5
+	// StatusBadDelta rejects a counter op whose stored payload is not an
+	// unsigned decimal number (memcache DELTA_BADVAL).
+	StatusBadDelta uint8 = 6
+	// StatusFull reports the store ran out of memory applying the op
+	// (kvdirect.ErrFull) — distinct from StatusError so the gateway can
+	// answer OUT_OF_MEMORY instead of a generic failure.
+	StatusFull uint8 = 7
 )
 
 // Response is one operation result.
@@ -218,7 +251,7 @@ func AppendRequests(dst []byte, reqs []Request) ([]byte, error) {
 		} else {
 			havePrevValue = false
 		}
-		if r.Op.HasFunc() {
+		if r.Op.HasParam() {
 			dst = append(dst, r.FuncID, r.ElemWidth, uint8(len(r.Param)))
 			dst = append(dst, r.Param...)
 		}
@@ -287,7 +320,7 @@ func DecodeRequests(pkt []byte) ([]Request, error) {
 		} else {
 			prevValue = nil
 		}
-		if op.HasFunc() {
+		if op.HasParam() {
 			if len(p) < 3 {
 				return nil, ErrTruncated
 			}

@@ -113,6 +113,9 @@ const (
 	FaultNetCorruptFrame   = fault.NetCorruptFrame   // response payload corrupted in flight
 	FaultNetTruncateFrame  = fault.NetTruncateFrame  // response cut mid-frame
 	FaultNetReset          = fault.NetReset          // connection reset before the response
+
+	FaultGwDecodeCorrupt        = fault.GwDecodeCorrupt        // inbound memcache frame corrupted at the gateway
+	FaultGwTenantQuotaExhausted = fault.GwTenantQuotaExhausted // gateway admission forced to report quota exhaustion
 )
 
 // Health summarizes a store's fault/recovery state (Store.Health).
@@ -143,6 +146,13 @@ const (
 	// Value an encoded scan parameter (build with ScanOp); the response
 	// value is a scan page (decode with DecodeScanResult).
 	OpScan = OpCode(wire.OpScan)
+	// OpPutVer is the versioned conditional store the protocol gateway
+	// maps the memcache storage family onto (build with PutVerOp /
+	// DeleteVerOp, decode with DecodePutVerResult).
+	OpPutVer = OpCode(wire.OpPutVer)
+	// OpCounterVer atomically adjusts an ASCII-decimal counter item
+	// (build with CounterOp, decode with DecodeCounterResult).
+	OpCounterVer = OpCode(wire.OpCounterVer)
 )
 
 // Result status codes.
@@ -154,6 +164,15 @@ const (
 	// that is not its group's primary; the op was not applied and the
 	// value may carry the primary's address as a redirect hint.
 	StatusNotPrimary = wire.StatusNotPrimary
+	// StatusExists: a versioned store's precondition failed because the
+	// key exists (ADD) or its version mismatched (CAS).
+	StatusExists = wire.StatusExists
+	// StatusNotStored: APPEND/PREPEND against a missing key.
+	StatusNotStored = wire.StatusNotStored
+	// StatusBadDelta: counter op against a non-numeric stored value.
+	StatusBadDelta = wire.StatusBadDelta
+	// StatusFull: the store or the item's wire capacity is exhausted.
+	StatusFull = wire.StatusFull
 )
 
 // Op is one operation in a client batch.
@@ -207,6 +226,91 @@ func fromWire(resps []wire.Response) []Result {
 	}
 	return out
 }
+
+// PutVerMode selects the condition of a versioned store (PutVerOp).
+type PutVerMode = wire.PutVerMode
+
+// Versioned-store modes: the memcache storage family as seven modes of
+// one compare-version-and-swap primitive (see internal/wire/gw.go).
+const (
+	PutVerSet     = wire.PutVerSet
+	PutVerAdd     = wire.PutVerAdd
+	PutVerReplace = wire.PutVerReplace
+	PutVerCAS     = wire.PutVerCAS
+	PutVerAppend  = wire.PutVerAppend
+	PutVerPrepend = wire.PutVerPrepend
+	PutVerDelete  = wire.PutVerDelete
+)
+
+// PutVerOp builds a versioned conditional store: mode selects the
+// precondition, expect the required current version (0 = unconditional
+// where the mode allows), flags ride with the item, payload is the user
+// value. The server assigns the new version; decode the result with
+// DecodePutVerResult.
+func PutVerOp(mode PutVerMode, key []byte, expect uint64, flags uint32, payload []byte) (Op, error) {
+	param, err := wire.EncodePutVerParam(mode, expect)
+	if err != nil {
+		return Op{}, err
+	}
+	val, err := wire.EncodeGwValue(flags, payload)
+	if err != nil {
+		return Op{}, err
+	}
+	return Op{Code: OpPutVer, Key: key, Value: val, Param: param}, nil
+}
+
+// DeleteVerOp builds a versioned delete (expect 0 = unconditional).
+func DeleteVerOp(key []byte, expect uint64) (Op, error) {
+	param, err := wire.EncodePutVerParam(wire.PutVerDelete, expect)
+	if err != nil {
+		return Op{}, err
+	}
+	return Op{Code: OpPutVer, Key: key, Param: param}, nil
+}
+
+// DecodePutVerResult unpacks a successful versioned-store result into
+// the item's new version (for deletes, the deleted version), whether the
+// key existed before, and the previous stored length in bytes.
+func DecodePutVerResult(r Result) (version uint64, existed bool, oldLen int, err error) {
+	if r.Status != StatusOK {
+		return 0, false, 0, fmt.Errorf("kvdirect: putver failed: status %d", r.Status)
+	}
+	return wire.DecodePutVerReply(r.Value)
+}
+
+// CounterOp builds an atomic counter adjustment on an ASCII-decimal
+// item: incr selects direction, delta the step; a missing key is created
+// holding initial when create is true and reports NotFound otherwise.
+func CounterOp(key []byte, incr bool, delta, initial uint64, create bool) (Op, error) {
+	sub := wire.CounterIncr
+	if !incr {
+		sub = wire.CounterDecr
+	}
+	param, err := wire.EncodeCounterParam(sub, delta, initial, create)
+	if err != nil {
+		return Op{}, err
+	}
+	return Op{Code: OpCounterVer, Key: key, Param: param}, nil
+}
+
+// DecodeCounterResult unpacks a successful counter result into the
+// post-adjustment value and the item's new version.
+func DecodeCounterResult(r Result) (value, version uint64, err error) {
+	if r.Status != StatusOK {
+		return 0, 0, fmt.Errorf("kvdirect: counter failed: status %d", r.Status)
+	}
+	return wire.DecodeCounterReply(r.Value)
+}
+
+// GwItem is the decoded form of a value stored by the versioned-store
+// ops: a server-owned version (the CAS token), client flags, and the
+// user payload. A GET of such a key returns the encoded form; split it
+// with DecodeGwItem.
+type GwItem = wire.GwItem
+
+// DecodeGwItem splits a stored value into its gateway item parts.
+// Values written by native PUTs read as version 0.
+func DecodeGwItem(stored []byte) GwItem { return wire.DecodeGwItem(stored) }
 
 // ScanEntry is one key/value pair returned by an ordered range scan.
 type ScanEntry = wire.ScanEntry

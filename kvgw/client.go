@@ -1,0 +1,281 @@
+package kvgw
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client is a minimal memcache-binary client for the load generator,
+// the CLI and the benchmarks. It speaks the same frames a stock
+// memcached client library would; the gateway acceptance tests
+// deliberately do NOT use it (they hand-roll frames so the bytes on the
+// wire are verified independently of this codec).
+type Client struct {
+	nc     net.Conn
+	r      *bufio.Reader
+	w      *bufio.Writer
+	opaque uint32
+	buf    []byte
+}
+
+// DialClient connects to a gateway.
+func DialClient(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{nc: nc,
+		r: bufio.NewReaderSize(nc, 64<<10),
+		w: bufio.NewWriterSize(nc, 64<<10)}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+func (c *Client) send(req Request) error {
+	c.opaque++
+	req.Opaque = c.opaque
+	out, err := AppendRequest(c.buf[:0], req)
+	if err != nil {
+		return err
+	}
+	c.buf = out
+	_, err = c.w.Write(out)
+	return err
+}
+
+func (c *Client) recv() (Response, error) {
+	if err := c.w.Flush(); err != nil {
+		return Response{}, err
+	}
+	var hdr [HeaderSize]byte
+	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
+		return Response{}, err
+	}
+	bodyLen := int(uint32(hdr[8])<<24 | uint32(hdr[9])<<16 | uint32(hdr[10])<<8 | uint32(hdr[11]))
+	if bodyLen > MaxBodyLen {
+		return Response{}, ErrBodyLen
+	}
+	frame := make([]byte, HeaderSize+bodyLen)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(c.r, frame[HeaderSize:]); err != nil {
+		return Response{}, err
+	}
+	resp, _, err := DecodeResponse(frame)
+	return resp, err
+}
+
+func (c *Client) roundTrip(req Request) (Response, error) {
+	if err := c.send(req); err != nil {
+		return Response{}, err
+	}
+	return c.recv()
+}
+
+// Auth authenticates the connection as a tenant via SASL PLAIN.
+func (c *Client) Auth(tenant, secret string) error {
+	val := append([]byte{0}, tenant...)
+	val = append(val, 0)
+	val = append(val, secret...)
+	resp, err := c.roundTrip(Request{Opcode: CmdSASLAuth, Key: []byte("PLAIN"), Value: val})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kvgw: auth as %q: %s", tenant, StatusText(resp.Status))
+	}
+	return nil
+}
+
+// Get fetches a key. found=false with a nil error is a clean miss.
+func (c *Client) Get(key []byte) (value []byte, flags uint32, cas uint64, found bool, err error) {
+	resp, err := c.roundTrip(Request{Opcode: CmdGet, Key: key})
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	switch resp.Status {
+	case StatusOK:
+		if len(resp.Extras) == 4 {
+			flags = uint32(resp.Extras[0])<<24 | uint32(resp.Extras[1])<<16 |
+				uint32(resp.Extras[2])<<8 | uint32(resp.Extras[3])
+		}
+		return resp.Value, flags, resp.CAS, true, nil
+	case StatusKeyNotFound:
+		return nil, 0, 0, false, nil
+	}
+	return nil, 0, 0, false, fmt.Errorf("kvgw: get: %s", StatusText(resp.Status))
+}
+
+// Store issues SET/ADD/REPLACE/APPEND/PREPEND (pass the Cmd* opcode).
+// The returned status lets callers distinguish expected failures
+// (KEY_EXISTS on a lost CAS race) without string matching.
+func (c *Client) Store(opcode uint8, key, value []byte, flags uint32, cas uint64) (newCAS uint64, status uint16, err error) {
+	req := Request{Opcode: opcode, Key: key, Value: value, CAS: cas}
+	switch opcode {
+	case CmdSet, CmdAdd, CmdReplace:
+		req.Extras = make([]byte, 8)
+		req.Extras[0] = byte(flags >> 24)
+		req.Extras[1] = byte(flags >> 16)
+		req.Extras[2] = byte(flags >> 8)
+		req.Extras[3] = byte(flags)
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.CAS, resp.Status, nil
+}
+
+// Set stores unconditionally and returns the new CAS token.
+func (c *Client) Set(key, value []byte, flags uint32) (uint64, error) {
+	cas, status, err := c.Store(CmdSet, key, value, flags, 0)
+	if err != nil {
+		return 0, err
+	}
+	if status != StatusOK {
+		return 0, fmt.Errorf("kvgw: set: %s", StatusText(status))
+	}
+	return cas, nil
+}
+
+// Delete removes a key; status distinguishes miss from success.
+func (c *Client) Delete(key []byte, cas uint64) (status uint16, err error) {
+	resp, err := c.roundTrip(Request{Opcode: CmdDelete, Key: key, CAS: cas})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Status, nil
+}
+
+// Counter issues INCR (incr=true) or DECR. create=false sets the "do
+// not vivify" expiry.
+func (c *Client) Counter(key []byte, incr bool, delta, initial uint64, create bool) (value, cas uint64, status uint16, err error) {
+	extras := make([]byte, 20)
+	put64 := func(off int, v uint64) {
+		for i := 0; i < 8; i++ {
+			extras[off+i] = byte(v >> (56 - 8*i))
+		}
+	}
+	put64(0, delta)
+	put64(8, initial)
+	if !create {
+		extras[16], extras[17], extras[18], extras[19] = 0xff, 0xff, 0xff, 0xff
+	}
+	opcode := uint8(CmdIncr)
+	if !incr {
+		opcode = CmdDecr
+	}
+	resp, err := c.roundTrip(Request{Opcode: opcode, Key: key, Extras: extras})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if resp.Status == StatusOK && len(resp.Value) == 8 {
+		for _, b := range resp.Value {
+			value = value<<8 | uint64(b)
+		}
+	}
+	return value, resp.CAS, resp.Status, nil
+}
+
+// Noop round-trips a NOOP (the pipeline flush/terminator).
+func (c *Client) Noop() error {
+	resp, err := c.roundTrip(Request{Opcode: CmdNoop})
+	if err != nil {
+		return err
+	}
+	if resp.Status != StatusOK {
+		return fmt.Errorf("kvgw: noop: %s", StatusText(resp.Status))
+	}
+	return nil
+}
+
+// Version fetches the server version string.
+func (c *Client) Version() (string, error) {
+	resp, err := c.roundTrip(Request{Opcode: CmdVersion})
+	if err != nil {
+		return "", err
+	}
+	return string(resp.Value), nil
+}
+
+// Stats fetches the tenant's stat map.
+func (c *Client) Stats() (map[string]string, error) {
+	if err := c.send(Request{Opcode: CmdStat}); err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for {
+		resp, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Status != StatusOK {
+			return nil, fmt.Errorf("kvgw: stats: %s", StatusText(resp.Status))
+		}
+		if len(resp.Key) == 0 {
+			return out, nil
+		}
+		out[string(resp.Key)] = string(resp.Value)
+	}
+}
+
+// SetBatch pipelines quiet SETs terminated by a NOOP — one write, one
+// flush, one response frame (plus any error frames), the memcache
+// idiom the gateway turns into a single backend batch per buffered
+// chunk. It returns the number of SETs that reported an error.
+func (c *Client) SetBatch(keys, values [][]byte, flags uint32) (errors int, err error) {
+	for i := range keys {
+		req := Request{Opcode: CmdSetQ, Key: keys[i], Value: values[i],
+			Extras: make([]byte, 8)}
+		req.Extras[0] = byte(flags >> 24)
+		req.Extras[1] = byte(flags >> 16)
+		req.Extras[2] = byte(flags >> 8)
+		req.Extras[3] = byte(flags)
+		if err := c.send(req); err != nil {
+			return 0, err
+		}
+	}
+	if err := c.send(Request{Opcode: CmdNoop}); err != nil {
+		return 0, err
+	}
+	for {
+		resp, err := c.recv()
+		if err != nil {
+			return errors, err
+		}
+		if resp.Opcode == CmdNoop {
+			return errors, nil
+		}
+		errors++
+	}
+}
+
+// GetBatch pipelines quiet GETs terminated by a NOOP, returning hit
+// values keyed by opaque order (nil for misses).
+func (c *Client) GetBatch(keys [][]byte) ([][]byte, error) {
+	base := c.opaque
+	for _, k := range keys {
+		if err := c.send(Request{Opcode: CmdGetQ, Key: k}); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.send(Request{Opcode: CmdNoop}); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(keys))
+	for {
+		resp, err := c.recv()
+		if err != nil {
+			return nil, err
+		}
+		if resp.Opcode == CmdNoop {
+			return out, nil
+		}
+		idx := int(resp.Opaque - base - 1)
+		if resp.Status == StatusOK && idx >= 0 && idx < len(out) {
+			out[idx] = resp.Value
+		}
+	}
+}

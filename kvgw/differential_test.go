@@ -1,0 +1,199 @@
+package kvgw
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kvdirect"
+)
+
+// TestGatewayDifferentialConvergence is the memcache-vs-native property
+// test: a seeded random stream of memcache operations driven through
+// the gateway's TCP path must leave the store in exactly the state that
+// applying the equivalent native PutVer/CounterVer ops to a second
+// store does — same keys, same payloads, same flags, same versions.
+// Any divergence means the gateway invented semantics the wire
+// primitives don't have.
+func TestGatewayDifferentialConvergence(t *testing.T) {
+	fx := startGateway(t, twoTenants(), Options{})
+	gwc, err := DialClient(fx.gateway.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwc.Close()
+	if err := gwc.Auth("acme", "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+
+	native, err := kvdirect.New(kvdirect.Config{MemoryBytes: 16 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, ok := fx.gateway.Tenants().Lookup("acme")
+	if !ok {
+		t.Fatal("tenant missing")
+	}
+	// The native twin sees the same namespaced keys the gateway writes,
+	// so at the end the two stores can be compared byte for byte.
+	nsKey := func(k []byte) []byte { return tn.Namespace(k) }
+	nativeDo := func(op kvdirect.Op, opErr error) kvdirect.Result {
+		t.Helper()
+		if opErr != nil {
+			t.Fatal(opErr)
+		}
+		return kvdirect.Execute(native, []kvdirect.Op{op})[0]
+	}
+
+	rng := rand.New(rand.NewSource(0xD1FF))
+	keys := make([][]byte, 24)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("key-%02d", i))
+	}
+	// cas tracks the last version each path returned per key; both paths
+	// must always agree, so one map serves both.
+	cas := map[string]uint64{}
+
+	const steps = 2000
+	for step := 0; step < steps; step++ {
+		k := keys[rng.Intn(len(keys))]
+		switch rng.Intn(10) {
+		case 0, 1: // SET
+			val := []byte(fmt.Sprintf("v%d", step))
+			flags := rng.Uint32()
+			gv, gs, err := gwc.Store(CmdSet, k, val, flags, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.PutVerOp(kvdirect.PutVerSet, nsKey(k), 0, flags, val))
+			nv, _, _, _ := kvdirect.DecodePutVerResult(nr)
+			requireSame(t, step, "SET", gs, mapStatus(nr.Status), gv, nv)
+			cas[string(k)] = gv
+		case 2: // ADD
+			val := []byte(fmt.Sprintf("a%d", step))
+			gv, gs, err := gwc.Store(CmdAdd, k, val, 1, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.PutVerOp(kvdirect.PutVerAdd, nsKey(k), 0, 1, val))
+			nv, _, _, _ := kvdirect.DecodePutVerResult(nr)
+			requireSame(t, step, "ADD", gs, mapStatus(nr.Status), gv, nv)
+			if gs == StatusOK {
+				cas[string(k)] = gv
+			}
+		case 3: // REPLACE
+			val := []byte(fmt.Sprintf("r%d", step))
+			gv, gs, err := gwc.Store(CmdReplace, k, val, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.PutVerOp(kvdirect.PutVerReplace, nsKey(k), 0, 2, val))
+			nv, _, _, _ := kvdirect.DecodePutVerResult(nr)
+			requireSame(t, step, "REPLACE", gs, mapStatus(nr.Status), gv, nv)
+			if gs == StatusOK {
+				cas[string(k)] = gv
+			}
+		case 4: // CAS — half the time a live token, half a stale guess
+			expect := cas[string(k)]
+			if expect == 0 || rng.Intn(2) == 0 {
+				expect = uint64(rng.Intn(5)) + 1
+			}
+			val := []byte(fmt.Sprintf("c%d", step))
+			gv, gs, err := gwc.Store(CmdSet, k, val, 3, expect)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.PutVerOp(kvdirect.PutVerCAS, nsKey(k), expect, 3, val))
+			nv, _, _, _ := kvdirect.DecodePutVerResult(nr)
+			requireSame(t, step, "CAS", gs, mapStatus(nr.Status), gv, nv)
+			if gs == StatusOK {
+				cas[string(k)] = gv
+			}
+		case 5: // APPEND
+			val := []byte("+")
+			gv, gs, err := gwc.Store(CmdAppend, k, val, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.PutVerOp(kvdirect.PutVerAppend, nsKey(k), 0, 0, val))
+			nv, _, _, _ := kvdirect.DecodePutVerResult(nr)
+			requireSame(t, step, "APPEND", gs, mapStatus(nr.Status), gv, nv)
+			if gs == StatusOK {
+				cas[string(k)] = gv
+			}
+		case 6: // DELETE
+			gs, err := gwc.Delete(k, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.DeleteVerOp(nsKey(k), 0))
+			if gs != mapStatus(nr.Status) {
+				t.Fatalf("step %d DELETE: gateway %#04x native %#04x", step, gs, nr.Status)
+			}
+			delete(cas, string(k))
+		case 7, 8: // INCR with vivify
+			delta, init := uint64(rng.Intn(100)), uint64(rng.Intn(1000))
+			gval, gv, gs, err := gwc.Counter(k, true, delta, init, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.CounterOp(nsKey(k), true, delta, init, true))
+			nval, nv, _ := kvdirect.DecodeCounterResult(nr)
+			requireSame(t, step, "INCR", gs, mapStatus(nr.Status), gv, nv)
+			if gs == StatusOK {
+				if gval != nval {
+					t.Fatalf("step %d INCR: gateway value %d native %d", step, gval, nval)
+				}
+				cas[string(k)] = gv
+			}
+		case 9: // DECR, no vivify
+			delta := uint64(rng.Intn(100))
+			gval, gv, gs, err := gwc.Counter(k, false, delta, 0, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nr := nativeDo(kvdirect.CounterOp(nsKey(k), false, delta, 0, false))
+			nval, nv, _ := kvdirect.DecodeCounterResult(nr)
+			requireSame(t, step, "DECR", gs, mapStatus(nr.Status), gv, nv)
+			if gs == StatusOK {
+				if gval != nval {
+					t.Fatalf("step %d DECR: gateway value %d native %d", step, gval, nval)
+				}
+				cas[string(k)] = gv
+			}
+		}
+	}
+
+	// Converged state: every key present in either store must be present
+	// in both with identical stored bytes (version, flags and payload —
+	// GwItem framing included).
+	for _, k := range keys {
+		gwVal, gwFlags, gwCAS, found, err := gwc.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nr := kvdirect.Execute(native, []kvdirect.Op{{Code: kvdirect.OpGet, Key: nsKey(k)}})[0]
+		if found != nr.OK() {
+			t.Fatalf("final GET %q: gateway found=%v, native status %d", k, found, nr.Status)
+		}
+		if !found {
+			continue
+		}
+		item := kvdirect.DecodeGwItem(nr.Value)
+		if !bytes.Equal(gwVal, item.Payload) || gwCAS != item.Version || gwFlags != item.Flags {
+			t.Fatalf("final GET %q diverged:\n  gateway value=%q cas=%d flags=%#x\n  native  value=%q cas=%d flags=%#x",
+				k, gwVal, gwCAS, gwFlags, item.Payload, item.Version, item.Flags)
+		}
+	}
+}
+
+func requireSame(t *testing.T, step int, op string, gwStatus, nativeStatus uint16, gwCAS, nativeCAS uint64) {
+	t.Helper()
+	if gwStatus != nativeStatus {
+		t.Fatalf("step %d %s: gateway status %#04x, native maps to %#04x", step, op, gwStatus, nativeStatus)
+	}
+	if gwStatus == StatusOK && gwCAS != nativeCAS {
+		t.Fatalf("step %d %s: gateway cas %d, native version %d", step, op, gwCAS, nativeCAS)
+	}
+}

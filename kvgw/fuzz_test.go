@@ -1,0 +1,86 @@
+package kvgw
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeMemcacheRequest drives the request decoder with arbitrary
+// bytes: it must never panic, must never consume bytes it didn't
+// validate, and any frame it accepts must re-encode to an identical
+// frame (the binary protocol has one canonical encoding).
+func FuzzDecodeMemcacheRequest(f *testing.F) {
+	seed := func(r Request) {
+		frame, err := AppendRequest(nil, r)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(frame)
+	}
+	seed(Request{Opcode: CmdGet, Key: []byte("key"), Opaque: 7})
+	seed(Request{Opcode: CmdSet, Key: []byte("key"), Value: []byte("value"),
+		Extras: make([]byte, 8), CAS: 99})
+	seed(Request{Opcode: CmdIncr, Key: []byte("n"), Extras: make([]byte, 20)})
+	seed(Request{Opcode: CmdSASLAuth, Key: []byte("PLAIN"),
+		Value: []byte("\x00tenant\x00secret")})
+	seed(Request{Opcode: CmdNoop})
+	f.Add([]byte{})
+	f.Add([]byte{MagicRequest})
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderSize))
+
+	f.Fuzz(func(t *testing.T, frame []byte) {
+		req, n, err := DecodeRequest(frame)
+		if err != nil {
+			return
+		}
+		if n < HeaderSize || n > len(frame) {
+			t.Fatalf("consumed %d of %d bytes", n, len(frame))
+		}
+		re, err := AppendRequest(nil, req)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(re, frame[:n]) {
+			t.Fatalf("request not canonical:\n  in  % x\n  out % x", frame[:n], re)
+		}
+	})
+}
+
+// FuzzEncodeMemcacheResponse round-trips arbitrary response fields
+// through the encoder and decoder: whatever the encoder accepts, the
+// decoder must reproduce exactly.
+func FuzzEncodeMemcacheResponse(f *testing.F) {
+	f.Add(uint8(CmdGet), uint16(StatusOK), uint32(1), uint64(42),
+		[]byte{0, 0, 0, 5}, []byte(""), []byte("value"))
+	f.Add(uint8(CmdStat), uint16(StatusOK), uint32(2), uint64(0),
+		[]byte(nil), []byte("curr_items"), []byte("7"))
+	f.Add(uint8(CmdSet), uint16(StatusTempFailure), uint32(3), uint64(0),
+		[]byte(nil), []byte(nil), []byte("Temporary failure"))
+	f.Fuzz(func(t *testing.T, opcode uint8, status uint16, opaque uint32,
+		cas uint64, extras, key, value []byte) {
+		in := Response{Opcode: opcode, Status: status, Opaque: opaque,
+			CAS: cas, Extras: extras, Key: key, Value: value}
+		frame, err := AppendResponse(nil, in)
+		if err != nil {
+			return // oversized inputs are legitimately refused
+		}
+		if len(extras) > 0xFF {
+			// The header's extras length is one byte; the encoder accepted
+			// a frame it cannot represent.
+			t.Fatalf("encoder accepted %d extras bytes", len(extras))
+		}
+		out, n, err := DecodeResponse(frame)
+		if err != nil {
+			t.Fatalf("encoded response rejected: %v", err)
+		}
+		if n != len(frame) {
+			t.Fatalf("decoder consumed %d of %d bytes", n, len(frame))
+		}
+		if out.Opcode != in.Opcode || out.Status != in.Status ||
+			out.Opaque != in.Opaque || out.CAS != in.CAS ||
+			!bytes.Equal(out.Extras, in.Extras) || !bytes.Equal(out.Key, in.Key) ||
+			!bytes.Equal(out.Value, in.Value) {
+			t.Fatalf("round trip changed response:\n  in  %+v\n  out %+v", in, out)
+		}
+	})
+}

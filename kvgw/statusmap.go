@@ -1,0 +1,45 @@
+package kvgw
+
+import "kvdirect"
+
+// mapStatus translates a store wire status into the memcache binary
+// status a stock client expects. The full audit (every wire status the
+// backend can return, crossed with where the gateway produces each
+// memcache status itself) lives in statusmap_test.go.
+//
+//	wire                       memcache            why
+//	----                       --------            ---
+//	StatusOK                   OK                  success passes through
+//	StatusNotFound             KEY_NOT_FOUND       GET/REPLACE/DELETE/CAS miss
+//	StatusExists               KEY_EXISTS          ADD over live key, CAS version mismatch
+//	StatusNotStored            ITEM_NOT_STORED     APPEND/PREPEND on missing key
+//	StatusBadDelta             DELTA_BADVAL        INCR/DECR on non-numeric value
+//	StatusFull                 OUT_OF_MEMORY       store capacity exhausted
+//	StatusNotPrimary           TEMPORARY_FAILURE   replica failover in progress; retryable
+//	StatusError                INTERNAL_ERROR      anything else the store rejected
+//
+// Statuses the gateway produces without consulting the backend:
+// E2BIG for oversized values (admission), TEMPORARY_FAILURE for quota
+// exhaustion and backend transport loss, INVALID_ARGUMENTS for
+// malformed extras, AUTH_ERROR for unauthenticated data ops, and
+// UNKNOWN_COMMAND for opcodes outside the served set.
+func mapStatus(wireStatus uint8) uint16 {
+	switch wireStatus {
+	case kvdirect.StatusOK:
+		return StatusOK
+	case kvdirect.StatusNotFound:
+		return StatusKeyNotFound
+	case kvdirect.StatusExists:
+		return StatusKeyExists
+	case kvdirect.StatusNotStored:
+		return StatusNotStored
+	case kvdirect.StatusBadDelta:
+		return StatusDeltaBadVal
+	case kvdirect.StatusFull:
+		return StatusOutOfMemory
+	case kvdirect.StatusNotPrimary:
+		return StatusTempFailure
+	default:
+		return StatusInternalError
+	}
+}

@@ -1,0 +1,63 @@
+package kvgw
+
+import (
+	"testing"
+
+	"kvdirect"
+)
+
+// TestStatusMapAudit is the wire→memcache status audit: every status
+// the store's wire protocol defines must map to the memcache status a
+// stock client expects, and anything outside the defined set must fail
+// closed as INTERNAL_ERROR rather than leak as a success.
+func TestStatusMapAudit(t *testing.T) {
+	cases := []struct {
+		name string
+		wire uint8
+		want uint16
+	}{
+		{"ok", kvdirect.StatusOK, StatusOK},
+		{"not_found", kvdirect.StatusNotFound, StatusKeyNotFound},
+		{"error", kvdirect.StatusError, StatusInternalError},
+		{"not_primary", kvdirect.StatusNotPrimary, StatusTempFailure},
+		{"exists", kvdirect.StatusExists, StatusKeyExists},
+		{"not_stored", kvdirect.StatusNotStored, StatusNotStored},
+		{"bad_delta", kvdirect.StatusBadDelta, StatusDeltaBadVal},
+		{"full", kvdirect.StatusFull, StatusOutOfMemory},
+	}
+	covered := map[uint8]bool{}
+	for _, tc := range cases {
+		if got := mapStatus(tc.wire); got != tc.want {
+			t.Errorf("%s: mapStatus(%d) = 0x%04x, want 0x%04x (%s)",
+				tc.name, tc.wire, got, tc.want, StatusText(tc.want))
+		}
+		covered[tc.wire] = true
+	}
+	// Exhaustiveness: the table above must cover every defined wire
+	// status. A new wire status that lands without a mapping decision
+	// shows up here as a missing entry.
+	for s := uint8(0); s <= kvdirect.StatusFull; s++ {
+		if !covered[s] {
+			t.Errorf("wire status %d has no audited memcache mapping", s)
+		}
+	}
+	// Fail closed on anything undefined.
+	for _, s := range []uint8{kvdirect.StatusFull + 1, 0x40, 0xFF} {
+		if got := mapStatus(s); got != StatusInternalError {
+			t.Errorf("undefined wire status %d maps to 0x%04x, want INTERNAL_ERROR", s, got)
+		}
+	}
+}
+
+// TestStatusTextCoversGatewayStatuses: every status the gateway can put
+// on the wire has a human-readable name (error payloads carry it).
+func TestStatusTextCoversGatewayStatuses(t *testing.T) {
+	for _, s := range []uint16{StatusOK, StatusKeyNotFound, StatusKeyExists,
+		StatusTooLarge, StatusInvalidArgs, StatusNotStored, StatusDeltaBadVal,
+		StatusAuthError, StatusAuthContinue, StatusUnknownCommand,
+		StatusOutOfMemory, StatusInternalError, StatusBusy, StatusTempFailure} {
+		if StatusText(s) == "" || StatusText(s) == StatusText(0x7777) {
+			t.Errorf("status 0x%04x has no dedicated text", s)
+		}
+	}
+}

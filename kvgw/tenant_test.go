@@ -1,0 +1,230 @@
+package kvgw
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"a", "acme", "t-1", "t_1", "0x9"} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false", ok)
+		}
+	}
+	long := make([]byte, 65)
+	for i := range long {
+		long[i] = 'a'
+	}
+	for _, bad := range []string{"", "Acme", "a/b", "a.b", "a b", "a\x00b", string(long)} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
+
+// TestNamespacePrefixFreedom: because '/' terminates every prefix and
+// cannot appear in a name, no tenant's prefix is a prefix of another's
+// — the property the scan-bounding and isolation guarantees rest on.
+func TestNamespacePrefixFreedom(t *testing.T) {
+	names := []string{"a", "aa", "aaa", "a-a", "a_a"}
+	var cfgs []TenantConfig
+	for _, n := range names {
+		cfgs = append(cfgs, TenantConfig{Name: n})
+	}
+	reg, err := NewRegistry(RegistryConfig{Tenants: cfgs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefixes [][]byte
+	for _, n := range names {
+		tn, _ := reg.Lookup(n)
+		prefixes = append(prefixes, tn.Prefix())
+	}
+	for i, p := range prefixes {
+		for j, q := range prefixes {
+			if i != j && bytes.HasPrefix(q, p) {
+				t.Errorf("prefix %q contains prefix %q", q, p)
+			}
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	now := time.Unix(0, 0)
+	tn := newTenant(TenantConfig{Name: "t", Quota: Quota{OpsPerSec: 10, Burst: 5}}, now)
+
+	// The bucket starts full at Burst.
+	if !tn.admitOps(5, now) {
+		t.Fatal("burst refused")
+	}
+	if tn.admitOps(1, now) {
+		t.Fatal("admitted past empty bucket")
+	}
+	// 100ms at 10 ops/s refills one token — fractional accrual counts.
+	now = now.Add(100 * time.Millisecond)
+	if !tn.admitOps(1, now) {
+		t.Fatal("refilled token refused")
+	}
+	if tn.admitOps(1, now) {
+		t.Fatal("double-spent the refill")
+	}
+	// Refill is capped at Burst no matter how long the idle gap.
+	now = now.Add(time.Hour)
+	if !tn.admitOps(5, now) {
+		t.Fatal("capped refill refused")
+	}
+	if tn.admitOps(1, now) {
+		t.Fatal("refill exceeded burst cap")
+	}
+	// Time moving backwards (clock skew) must not mint tokens.
+	if tn.admitOps(1, now.Add(-time.Minute)) {
+		t.Fatal("backwards clock minted tokens")
+	}
+
+	// OpsPerSec 0 means unlimited.
+	free := newTenant(TenantConfig{Name: "f"}, now)
+	for i := 0; i < 10000; i++ {
+		if !free.admitOps(1, now) {
+			t.Fatal("unlimited bucket refused")
+		}
+	}
+
+	// Burst defaults to OpsPerSec when unset.
+	def := newTenant(TenantConfig{Name: "d", Quota: Quota{OpsPerSec: 3}}, now)
+	if !def.admitOps(3, now) || def.admitOps(1, now) {
+		t.Fatal("default burst != OpsPerSec")
+	}
+}
+
+func TestKeyAndByteQuotas(t *testing.T) {
+	tn := newTenant(TenantConfig{Name: "t", Quota: Quota{MaxKeys: 2, MaxBytes: 100}}, time.Unix(0, 0))
+	if !tn.admitCreate() {
+		t.Fatal("create refused under limit")
+	}
+	tn.account(2, 0)
+	if tn.admitCreate() {
+		t.Fatal("create admitted at key limit")
+	}
+	tn.account(-1, 0)
+	if !tn.admitCreate() {
+		t.Fatal("create refused after delete freed a slot")
+	}
+	if !tn.admitBytes(100) {
+		t.Fatal("bytes refused under limit")
+	}
+	tn.account(0, 60)
+	if tn.admitBytes(41) {
+		t.Fatal("bytes admitted past limit")
+	}
+	if !tn.admitBytes(40) {
+		t.Fatal("bytes refused at exactly the limit")
+	}
+	// Zero means unlimited.
+	free := newTenant(TenantConfig{Name: "f"}, time.Unix(0, 0))
+	free.account(1<<40, 1<<40)
+	if !free.admitCreate() || !free.admitBytes(1<<30) {
+		t.Fatal("unlimited quota refused")
+	}
+}
+
+func TestRegistryAuthenticate(t *testing.T) {
+	reg, err := NewRegistry(RegistryConfig{
+		Tenants: []TenantConfig{
+			{Name: "locked", Secret: "pw"},
+			{Name: "open"},
+		},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Authenticate("locked", "pw"); !ok {
+		t.Fatal("right secret refused")
+	}
+	if _, ok := reg.Authenticate("locked", "nope"); ok {
+		t.Fatal("wrong secret accepted")
+	}
+	if _, ok := reg.Authenticate("open", "anything"); !ok {
+		t.Fatal("secretless tenant refused")
+	}
+	if _, ok := reg.Authenticate("ghost", ""); ok {
+		t.Fatal("unknown tenant accepted without auto-create")
+	}
+
+	// Auto-create mints unknown tenants with the default quota, once.
+	auto, err := NewRegistry(RegistryConfig{
+		AutoCreate:   true,
+		DefaultQuota: Quota{MaxKeys: 7},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, ok := auto.Authenticate("fresh", "")
+	if !ok {
+		t.Fatal("auto-create refused")
+	}
+	t2, _ := auto.Authenticate("fresh", "")
+	if t1 != t2 {
+		t.Fatal("auto-create made two tenants for one name")
+	}
+	if t1.quota.MaxKeys != 7 {
+		t.Fatalf("auto-created quota = %+v", t1.quota)
+	}
+	if _, ok := auto.Authenticate("Not Valid!", ""); ok {
+		t.Fatal("auto-created an invalid name")
+	}
+	if auto.Len() != 1 {
+		t.Fatalf("registry len = %d", auto.Len())
+	}
+}
+
+func TestLoadRegistry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	cfg := `{
+  "tenants": [
+    {"name": "acme", "secret": "pw", "quota": {"max_keys": 10, "max_bytes": 4096, "ops_per_sec": 100, "burst": 200}},
+    {"name": "globex"}
+  ],
+  "auto_create": true,
+  "default_quota": {"ops_per_sec": 50}
+}`
+	if err := os.WriteFile(path, []byte(cfg), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := LoadRegistry(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn, ok := reg.Lookup("acme")
+	if !ok {
+		t.Fatal("acme missing")
+	}
+	if tn.quota.MaxKeys != 10 || tn.quota.MaxBytes != 4096 || tn.quota.OpsPerSec != 100 || tn.quota.Burst != 200 {
+		t.Fatalf("acme quota = %+v", tn.quota)
+	}
+	if _, ok := reg.Authenticate("anybody", ""); !ok {
+		t.Fatal("auto_create from file ignored")
+	}
+
+	// Broken configs are rejected: bad JSON, duplicate or invalid names.
+	for name, bad := range map[string]string{
+		"syntax":    `{"tenants": [`,
+		"dup":       `{"tenants": [{"name": "x"}, {"name": "x"}]}`,
+		"bad-name":  `{"tenants": [{"name": "No/Slash"}]}`,
+		"anonymous": `{"tenants": [{"secret": "pw"}]}`,
+	} {
+		p := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(p, []byte(bad), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadRegistry(p, nil); err == nil {
+			t.Errorf("%s config loaded without error", name)
+		}
+	}
+	if _, err := LoadRegistry(filepath.Join(dir, "missing.json"), nil); err == nil {
+		t.Error("missing file loaded without error")
+	}
+}

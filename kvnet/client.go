@@ -215,11 +215,14 @@ func (c *Client) backoffLocked(n int) { c.backoff.Sleep(n) }
 // Delete, Reduce, Filter, Stats and Register all converge when repeated
 // (Delete's existed-bit may differ on replay, which callers treating
 // delete-of-missing as success tolerate); scalar/vector updates do not —
-// a replayed fetch-add adds twice.
+// a replayed fetch-add adds twice. Versioned stores bump the version on
+// every success (a replayed SET double-bumps, a replayed CAS fails with
+// Exists) and counters re-apply their delta, so both fail fast instead.
 func idempotent(ops []kvdirect.Op) bool {
 	for _, op := range ops {
 		switch op.Code {
-		case kvdirect.OpUpdateScalar, kvdirect.OpUpdateS2V, kvdirect.OpUpdateV2V:
+		case kvdirect.OpUpdateScalar, kvdirect.OpUpdateS2V, kvdirect.OpUpdateV2V,
+			kvdirect.OpPutVer, kvdirect.OpCounterVer:
 			return false
 		}
 	}

@@ -390,6 +390,32 @@ func (s *Server) apply(reqs []wire.Request, span *telemetry.Span) []wire.Respons
 	return s.backend.ApplyBatch(reqs)
 }
 
+// Do executes one batch in-process through the same serialized pipeline
+// a network client's batch takes — same lock, same backend (and thus the
+// same replication/sharding interposition), same op accounting — minus
+// the wire framing and a socket. In-process front-ends (the memcache
+// protocol gateway) use this as their loopback path when they run inside
+// the server process; it satisfies the same Do contract as *Client.
+func (s *Server) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
+	reqs := make([]wire.Request, len(ops))
+	for i, op := range ops {
+		reqs[i] = wire.Request{
+			Op:        wire.OpCode(op.Code),
+			Key:       op.Key,
+			Value:     op.Value,
+			FuncID:    op.FuncID,
+			ElemWidth: op.ElemWidth,
+			Param:     op.Param,
+		}
+	}
+	resps := s.apply(reqs, nil)
+	out := make([]kvdirect.Result, len(resps))
+	for i, r := range resps {
+		out[i] = kvdirect.Result{Status: r.Status, Value: r.Value}
+	}
+	return out, nil
+}
+
 // errorFrame encodes a single-error-response frame.
 func errorFrame(msg string) []byte {
 	out, _ := wire.AppendResponses(nil, []wire.Response{

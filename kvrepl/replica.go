@@ -402,7 +402,8 @@ func (r *Replica) wakeLocked() {
 func mutating(op wire.OpCode) bool {
 	switch op {
 	case wire.OpPut, wire.OpDelete, wire.OpUpdateScalar, wire.OpUpdateS2V,
-		wire.OpUpdateV2V, wire.OpFilter, wire.OpRegister:
+		wire.OpUpdateV2V, wire.OpFilter, wire.OpRegister,
+		wire.OpPutVer, wire.OpCounterVer:
 		return true
 	}
 	return false
