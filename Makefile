@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build vet lint lint-new lint-fix test race chaos chaos-migrate chaos-scan bench bench-scan bench-gateway gateway telemetry check clean
+.PHONY: build vet lint lint-new lint-fix test race chaos chaos-migrate chaos-scan bench bench-scan bench-gateway gateway telemetry profile check clean
 
 build:
 	$(GO) build ./...
@@ -73,12 +73,19 @@ bench-gateway:
 gateway:
 	$(GO) test -race -count=1 ./kvgw/
 
-# Telemetry smoke: the unit suite plus the overhead guard — the
-# disabled-sampling hot path must stay at 0 allocs/op (see DESIGN.md
+# Telemetry smoke: the unit suite plus the overhead guards — the
+# disabled-sampling and trace-off hot paths must stay at 0 allocs/op,
+# and the flight recorder's Record must too (see DESIGN.md
 # "Observability").
 telemetry:
 	$(GO) test ./internal/telemetry/
-	$(GO) test -bench=BenchmarkTelemetryOff -benchmem -run '^$$' ./internal/telemetry/
+	$(GO) test -bench='BenchmarkTelemetryOff|BenchmarkTraceOff|BenchmarkFlightRecorderOn' -benchmem -run '^$$' ./internal/telemetry/
+
+# CPU + heap profiles of a quick kvdbench run (satellite of the tracing
+# PR): cpu.pprof / heap.pprof land in the repo root for
+# `go tool pprof`.
+profile:
+	$(GO) run ./cmd/kvdbench -quick -cpuprofile cpu.pprof -memprofile heap.pprof fig11
 
 # What CI runs.
 check: vet lint

@@ -37,6 +37,15 @@
 //	                                          watch progress to cutover
 //	kvdcli -admin host:port migrate status    list migrations
 //	kvdcli -admin host:port migrate routes    print the routing table
+//
+// Against a kvdserver -metrics endpoint, trace and blackbox render the
+// observability debug handlers:
+//
+//	kvdcli -metrics host:port trace [-limit N] [hex id]
+//	                                          recent distributed traces as
+//	                                          trees (or one trace by id)
+//	kvdcli -metrics host:port blackbox        the flight recorder's event
+//	                                          ring and last anomaly dump
 package main
 
 import (
@@ -57,12 +66,27 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7890", "server address")
 	admin := flag.String("admin", "", "kvdserver admin address (for the migrate command)")
 	mc := flag.String("mc", "", "kvgw memcache gateway address (for the mcstat command)")
+	metrics := flag.String("metrics", "", "kvdserver metrics address (for the trace and blackbox commands)")
 	flag.Parse()
 
 	// migrate talks HTTP to the admin endpoint, not the data port —
 	// dispatch it before dialing so it works while routes are in flux.
 	if args := flag.Args(); len(args) > 0 && args[0] == "migrate" {
 		if err := runMigrate(*admin, args[1:]); err != nil {
+			log.Fatalf("kvdcli: %v", err)
+		}
+		return
+	}
+	// trace and blackbox scrape the metrics endpoint's debug handlers —
+	// HTTP again, so dispatch before the data-wire dial.
+	if args := flag.Args(); len(args) > 0 && (args[0] == "trace" || args[0] == "blackbox") {
+		var err error
+		if args[0] == "trace" {
+			err = runTrace(*metrics, args[1:])
+		} else {
+			err = runBlackbox(*metrics, args[1:])
+		}
+		if err != nil {
 			log.Fatalf("kvdcli: %v", err)
 		}
 		return

@@ -27,10 +27,12 @@ func loadTenants(path string) *kvgw.Registry {
 
 // startGateway serves the memcache binary protocol on addr, translating
 // onto the given backend (a kvnet server or client — anything that can
-// run an op batch).
-func startGateway(addr, tenantsPath string, backend kvgw.Backend) *kvgw.Gateway {
+// run an op batch). sampleEvery makes the gateway root a distributed
+// trace for one batch in N — the same -trace-sample knob that governs
+// server-side sampling, so one flag turns tracing on everywhere.
+func startGateway(addr, tenantsPath string, backend kvgw.Backend, sampleEvery uint64) *kvgw.Gateway {
 	reg := loadTenants(tenantsPath)
-	gw, err := kvgw.Serve(backend, reg, addr, kvgw.Options{})
+	gw, err := kvgw.Serve(backend, reg, addr, kvgw.Options{TraceSampleEvery: sampleEvery})
 	if err != nil {
 		log.Fatalf("kvdserver: memcache gateway: %v", err)
 	}

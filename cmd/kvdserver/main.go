@@ -6,6 +6,7 @@
 //	kvdserver [-addr host:port] [-mem bytes] [-index-ratio r]
 //	          [-inline n] [-dispatch r] [-no-cache] [-no-ooo]
 //	          [-shards n] [-metrics host:port] [-trace-sample n]
+//	          [-pprof host:port]
 //
 // With -shards n it runs n independent stores behind n listeners on
 // consecutive ports — the paper's multi-NIC server (pair it with
@@ -42,10 +43,33 @@ import (
 	"os/signal"
 	"strconv"
 
+	_ "net/http/pprof" // -pprof: registers /debug/pprof on the default mux
+
 	"kvdirect"
 	"kvdirect/kvgw"
 	"kvdirect/kvnet"
 )
+
+// servePprof starts the net/http/pprof endpoint when -pprof is set. The
+// handlers register on http.DefaultServeMux (the pprof package's import
+// side effect), so serving the default mux on a dedicated listener is
+// all that is needed — and keeps profiling off the metrics mux, which
+// stays safe to expose.
+func servePprof(addr string) {
+	if addr == "" {
+		return
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("kvdserver: pprof listener: %v", err)
+	}
+	log.Printf("kvdserver: pprof on http://%s/debug/pprof/", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, nil); err != nil {
+			log.Printf("kvdserver: pprof server: %v", err)
+		}
+	}()
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7890", "listen address (shard i listens on port+i)")
@@ -62,7 +86,9 @@ func main() {
 	adminAddr := flag.String("admin", "", "replicated mode: serve /routes, /migrations and POST /migrate on this address")
 	memcacheAddr := flag.String("memcache", "", "serve the memcache binary protocol on this address (empty disables)")
 	tenants := flag.String("tenants", "", "tenant registry JSON for the memcache gateway (default: auto-create, no quotas)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Parse()
+	servePprof(*pprofAddr)
 
 	cfg := kvdirect.Config{
 		MemoryBytes:       *mem,
@@ -85,7 +111,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("kvdserver: bad port: %v", err)
 		}
-		runReplicated(host, basePort, *shards, *replicas, cfg, *metricsAddr, *adminAddr, *memcacheAddr, *tenants)
+		runReplicated(host, basePort, *shards, *replicas, cfg, *metricsAddr, *adminAddr, *memcacheAddr, *tenants, *traceSample)
 		return
 	}
 	if *adminAddr != "" {
@@ -121,6 +147,7 @@ func main() {
 	// is one shard, otherwise a loopback sharded client so gateway ops
 	// route by key exactly like native clients.
 	var gateway *kvgw.Gateway
+	var gwClient *kvnet.ShardedClient // loopback backend when sharded
 	if *memcacheAddr != "" {
 		var backend kvgw.Backend = servers[0]
 		if *shards > 1 {
@@ -134,8 +161,9 @@ func main() {
 			}
 			defer sc.Close()
 			backend = sc
+			gwClient = sc
 		}
-		gateway = startGateway(*memcacheAddr, *tenants, backend)
+		gateway = startGateway(*memcacheAddr, *tenants, backend, *traceSample)
 		defer gateway.Close()
 	}
 
@@ -150,6 +178,12 @@ func main() {
 		}
 		if gateway != nil {
 			sources = append(sources, gateway)
+		}
+		if gwClient != nil {
+			// The loopback client publishes the client hop of every
+			// traced gateway batch; merge its registry so trees stay
+			// whole under /debug/traces.
+			sources = append(sources, kvnet.RegistrySource(gwClient.Telemetry()))
 		}
 		log.Printf("kvdserver: telemetry on http://%s/metrics", ln.Addr())
 		go func() {

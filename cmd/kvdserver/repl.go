@@ -41,7 +41,7 @@ func (f snapshotFn) TelemetrySnapshot() telemetry.Snapshot { return f() }
 
 // runReplicated serves every shard as a replica group and blocks until
 // interrupted.
-func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Config, metricsAddr, adminAddr, memcacheAddr, tenantsPath string) {
+func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Config, metricsAddr, adminAddr, memcacheAddr, tenantsPath string, traceSample uint64) {
 	d := &replDeployment{
 		coord:    kvrepl.NewCoordinator(kvrepl.CoordOptions{}),
 		cfg:      cfg,
@@ -78,6 +78,7 @@ func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Con
 	// the coordinator refreshes on failover — memcache tenants ride
 	// through promotions the same way native clients do.
 	var gateway *kvgw.Gateway
+	var gwClient *kvnet.ShardedClient
 	if memcacheAddr != "" {
 		shardAddrs := make([]kvnet.ShardAddrs, shards)
 		for s := 0; s < shards; s++ {
@@ -94,14 +95,21 @@ func runReplicated(host string, basePort, shards, replicas int, cfg kvdirect.Con
 				log.Printf("kvdserver: gateway route update: %v", err)
 			}
 		})
-		gateway = startGateway(memcacheAddr, tenantsPath, sc)
+		gateway = startGateway(memcacheAddr, tenantsPath, sc, traceSample)
 		defer gateway.Close()
+		gwClient = sc
 	}
 
 	if metricsAddr != "" {
 		sources := []kvnet.SnapshotSource{snapshotFn(d.mergedSnapshot)}
 		if gateway != nil {
 			sources = append(sources, gateway)
+		}
+		if gwClient != nil {
+			// The loopback client publishes the client hop of every
+			// traced gateway batch; merge its registry so trees stay
+			// whole under /debug/traces.
+			sources = append(sources, kvnet.RegistrySource(gwClient.Telemetry()))
 		}
 		serveHTTP("metrics", metricsAddr, kvnet.NewTelemetrySourcesHandler(sources...))
 	}

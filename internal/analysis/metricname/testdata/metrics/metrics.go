@@ -15,16 +15,27 @@ func record(c *stats.Counters, g *stats.Gauges, ig *stats.IntGauges, r *telemetr
 	r.Histogram("server.op_latency_ns").Observe(1)
 	c.Add("dram.line_reads", 1)
 
+	// The tracing PR's layers are in the allow-list.
+	g.Set("trace.spans_published", 4)
+	g.Set("blackbox.events_recorded", 2)
+	g.Set("blackbox.dumps", 1)
+	r.Histogram("gw.batch_latency_ns").Observe(1)
+
 	// Violations.
-	c.Add("ops", 1)                 // want "does not match layer.noun"
-	c.Add("server.Ops", 1)          // want "does not match layer.noun"
-	g.Set("replLag", 0)             // want "does not match layer.noun"
-	ig.Set("repl.lag.max", 0)       // want "does not match layer.noun"
-	c.Add("server..ops", 1)         // want "does not match layer.noun"
-	c.Add("server.ops-total", 1)    // want "does not match layer.noun"
-	c.Add("_server.ops", 1)         // want "does not match layer.noun"
-	r.Histogram("latency")          // want "does not match layer.noun"
-	c.Add("server.ops_", 1)         // want "does not match layer.noun"
+	c.Add("ops", 1)              // want "does not match layer.noun"
+	c.Add("server.Ops", 1)       // want "does not match layer.noun"
+	g.Set("replLag", 0)          // want "does not match layer.noun"
+	ig.Set("repl.lag.max", 0)    // want "does not match layer.noun"
+	c.Add("server..ops", 1)      // want "does not match layer.noun"
+	c.Add("server.ops-total", 1) // want "does not match layer.noun"
+	c.Add("_server.ops", 1)      // want "does not match layer.noun"
+	r.Histogram("latency")       // want "does not match layer.noun"
+	c.Add("server.ops_", 1)      // want "does not match layer.noun"
+
+	// Well-formed but under a layer the allow-list does not know.
+	c.Add("serve.ops", 1)           // want "unknown layer"
+	g.Set("tracing.spans", 0)       // want "unknown layer"
+	r.Histogram("gateway.batch_ns") // want "unknown layer"
 
 	// Runtime-built names are out of scope.
 	name := "server." + suffix()

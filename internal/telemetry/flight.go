@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// The flight recorder is the system's black box: a fixed-size lock-free
+// ring of recent structured anomaly events (fault escalations,
+// failovers, NotPrimary redirects, quota rejections, migration
+// cutovers). Recording is a handful of atomic stores — safe on any hot
+// path, zero allocations — and when something actually goes wrong (the
+// fault registry escalates, a lease fails over) the ring is frozen into
+// a JSON "black box" snapshot so the events leading UP TO the anomaly
+// survive even if the process keeps overwriting the live ring.
+
+// EventKind classifies a flight-recorder event.
+type EventKind uint32
+
+// Flight-recorder event kinds.
+const (
+	EventNone EventKind = iota
+	// EventFaultEscalation: a layer hit an unrecoverable fault (e.g. an
+	// uncorrectable ECC loss). Detail A carries the layer's running
+	// total.
+	EventFaultEscalation
+	// EventFailover: the lease coordinator promoted a backup. Detail A
+	// is the new epoch, B the promoted replica id.
+	EventFailover
+	// EventNotPrimary: a mutating batch bounced off a fenced or demoted
+	// replica. Detail A is the replica's current epoch.
+	EventNotPrimary
+	// EventQuotaReject: the gateway rejected a tenant op over quota.
+	EventQuotaReject
+	// EventMigrationCutover: a live migration committed its cutover.
+	// Detail A is the fenced cutover epoch.
+	EventMigrationCutover
+	// EventPromotion / EventDemotion: a replica changed role. Detail A
+	// is the epoch of the change.
+	EventPromotion
+	EventDemotion
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventFaultEscalation:
+		return "fault_escalation"
+	case EventFailover:
+		return "failover"
+	case EventNotPrimary:
+		return "not_primary"
+	case EventQuotaReject:
+		return "quota_reject"
+	case EventMigrationCutover:
+		return "migration_cutover"
+	case EventPromotion:
+		return "promotion"
+	case EventDemotion:
+		return "demotion"
+	default:
+		return "none"
+	}
+}
+
+// Event is one recorded flight-recorder entry as it appears in
+// snapshots and black-box dumps.
+type Event struct {
+	Seq    uint64 `json:"seq"`
+	Kind   string `json:"kind"`
+	Shard  int64  `json:"shard"`
+	A      uint64 `json:"a,omitempty"`
+	B      uint64 `json:"b,omitempty"`
+	UnixNs int64  `json:"unix_ns"`
+}
+
+// BlackBox is a frozen copy of the flight ring taken at the moment an
+// anomaly fired, plus what fired it.
+type BlackBox struct {
+	Trigger        string  `json:"trigger"`
+	CapturedUnixNs int64   `json:"captured_unix_ns"`
+	Events         []Event `json:"events"`
+}
+
+// flightRing bounds the recorder; 64 events keeps a full JSON dump
+// comfortably under the 65535-byte wire telemetry response cap.
+const flightRing = 64
+
+// flightSlot is one ring entry. Writers claim a slot by sequence number
+// and bracket their field stores with begin/end stamps (a per-slot
+// seqlock): a reader accepts a slot only when begin == end != 0, so a
+// half-written or concurrently rewritten slot is skipped, never torn.
+type flightSlot struct {
+	begin  atomic.Uint64
+	kind   atomic.Uint32
+	shard  atomic.Int64
+	a      atomic.Uint64
+	b      atomic.Uint64
+	unixNs atomic.Int64
+	end    atomic.Uint64
+}
+
+// FlightRecorder is the lock-free event ring. All methods are safe for
+// concurrent use and nil-safe, so layers thread a possibly-nil recorder
+// the same way they thread a possibly-nil span.
+type FlightRecorder struct {
+	seq   atomic.Uint64
+	slots [flightRing]flightSlot
+
+	recorded atomic.Uint64
+	dumps    atomic.Uint64
+	box      atomic.Pointer[BlackBox]
+}
+
+// NewFlightRecorder returns an empty recorder.
+func NewFlightRecorder() *FlightRecorder { return &FlightRecorder{} }
+
+// Record appends one event to the ring. It never allocates and never
+// blocks: two atomic adds, six atomic stores.
+//
+//kvd:hotpath
+func (f *FlightRecorder) Record(kind EventKind, shard int64, a, b uint64) {
+	if f == nil {
+		return
+	}
+	n := f.seq.Add(1)
+	s := &f.slots[n%flightRing]
+	s.begin.Store(n)
+	s.kind.Store(uint32(kind))
+	s.shard.Store(shard)
+	s.a.Store(a)
+	s.b.Store(b)
+	s.unixNs.Store(time.Now().UnixNano())
+	s.end.Store(n)
+	f.recorded.Add(1)
+}
+
+// Events returns a consistent copy of the ring, oldest first. Slots
+// mid-write (or lapped during the read) are skipped.
+func (f *FlightRecorder) Events() []Event {
+	if f == nil {
+		return nil
+	}
+	out := make([]Event, 0, flightRing)
+	for i := range f.slots {
+		s := &f.slots[i]
+		for {
+			end := s.end.Load()
+			if end == 0 {
+				break
+			}
+			e := Event{
+				Seq:    end,
+				Kind:   EventKind(s.kind.Load()).String(),
+				Shard:  s.shard.Load(),
+				A:      s.a.Load(),
+				B:      s.b.Load(),
+				UnixNs: s.unixNs.Load(),
+			}
+			if s.begin.Load() == end && s.end.Load() == end {
+				out = append(out, e)
+				break
+			}
+			// A writer got in between; retry the slot.
+		}
+	}
+	sortEventsBySeq(out)
+	return out
+}
+
+func sortEventsBySeq(ev []Event) {
+	// Insertion sort: the ring is nearly sorted already (one rotation),
+	// and flightRing is small.
+	for i := 1; i < len(ev); i++ {
+		for j := i; j > 0 && ev[j].Seq < ev[j-1].Seq; j-- {
+			ev[j], ev[j-1] = ev[j-1], ev[j]
+		}
+	}
+}
+
+// Recorded returns the total number of events ever recorded.
+func (f *FlightRecorder) Recorded() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.recorded.Load()
+}
+
+// Dump freezes the current ring into a black-box snapshot attributed to
+// trigger, replacing any previous dump. Called on anomalies (fault
+// escalation, lease failover) — rare by definition, so it may allocate.
+func (f *FlightRecorder) Dump(trigger string) *BlackBox {
+	if f == nil {
+		return nil
+	}
+	box := &BlackBox{
+		Trigger:        trigger,
+		CapturedUnixNs: time.Now().UnixNano(),
+		Events:         f.Events(),
+	}
+	f.box.Store(box)
+	f.dumps.Add(1)
+	return box
+}
+
+// Dumps returns how many black-box snapshots have been taken.
+func (f *FlightRecorder) Dumps() uint64 {
+	if f == nil {
+		return 0
+	}
+	return f.dumps.Load()
+}
+
+// LastDump returns the most recent black-box snapshot, nil if none.
+func (f *FlightRecorder) LastDump() *BlackBox {
+	if f == nil {
+		return nil
+	}
+	return f.box.Load()
+}

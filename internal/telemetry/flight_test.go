@@ -1,0 +1,166 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderRecordAndDump(t *testing.T) {
+	f := NewFlightRecorder()
+	if f.Recorded() != 0 || len(f.Events()) != 0 || f.LastDump() != nil {
+		t.Fatal("fresh recorder not empty")
+	}
+	f.Record(EventNotPrimary, 3, 17, 0)
+	f.Record(EventFailover, 3, 18, 2)
+	ev := f.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0].Kind != "not_primary" || ev[0].Shard != 3 || ev[0].A != 17 {
+		t.Fatalf("event 0 = %+v", ev[0])
+	}
+	if ev[1].Kind != "failover" || ev[1].Seq <= ev[0].Seq {
+		t.Fatalf("event 1 = %+v (want later seq)", ev[1])
+	}
+	if ev[0].UnixNs == 0 {
+		t.Fatal("event not timestamped")
+	}
+
+	box := f.Dump("lease_failover")
+	if box == nil || box.Trigger != "lease_failover" || len(box.Events) != 2 {
+		t.Fatalf("dump = %+v", box)
+	}
+	if f.LastDump() != box || f.Dumps() != 1 {
+		t.Fatal("dump not retained")
+	}
+	// The dump is frozen: later events don't change it.
+	f.Record(EventQuotaReject, 0, 0, 0)
+	if len(f.LastDump().Events) != 2 {
+		t.Fatal("dump mutated by later Record")
+	}
+}
+
+func TestFlightRecorderWrap(t *testing.T) {
+	f := NewFlightRecorder()
+	for i := 0; i < flightRing*3+5; i++ {
+		f.Record(EventNotPrimary, int64(i), uint64(i), 0)
+	}
+	ev := f.Events()
+	if len(ev) != flightRing {
+		t.Fatalf("got %d events after wrap, want %d", len(ev), flightRing)
+	}
+	// Oldest-first and contiguous: the ring holds the last flightRing
+	// sequence numbers.
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Seq != ev[i-1].Seq+1 {
+			t.Fatalf("events not contiguous at %d: %d then %d", i, ev[i-1].Seq, ev[i].Seq)
+		}
+	}
+	if ev[len(ev)-1].Seq != uint64(flightRing*3+5) {
+		t.Fatalf("newest seq = %d, want %d", ev[len(ev)-1].Seq, flightRing*3+5)
+	}
+}
+
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				f.Record(EventNotPrimary, int64(w), uint64(i), 0)
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		for _, e := range f.Events() {
+			if e.Seq == 0 || e.Kind != "not_primary" {
+				t.Errorf("torn event observed: %+v", e)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestFlightRecorderNil(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(EventFailover, 0, 0, 0) // must not panic
+	if f.Events() != nil || f.Dump("x") != nil || f.LastDump() != nil ||
+		f.Recorded() != 0 || f.Dumps() != 0 {
+		t.Fatal("nil recorder not inert")
+	}
+}
+
+func TestRegistrySnapshotCarriesFlightAndExemplars(t *testing.T) {
+	r := NewRegistry()
+	r.Flight().Record(EventMigrationCutover, 1, 9, 0)
+	r.Flight().Dump("test_trigger")
+	h := r.Histogram("server.op_latency_ns")
+	h.ObserveTraced(5000, 0) // untraced: no exemplar
+	h.ObserveTraced(123456, 0xABCD)
+
+	s := r.Snapshot()
+	if len(s.Events) != 1 || s.Events[0].Kind != "migration_cutover" {
+		t.Fatalf("snapshot events = %+v", s.Events)
+	}
+	if s.BlackBox == nil || s.BlackBox.Trigger != "test_trigger" {
+		t.Fatalf("snapshot black box = %+v", s.BlackBox)
+	}
+	if s.Gauges["blackbox.events_recorded"] != 1 || s.Gauges["blackbox.dumps"] != 1 {
+		t.Fatalf("blackbox gauges = %+v", s.Gauges)
+	}
+	hs := s.Histogram("server.op_latency_ns")
+	if len(hs.Exemplars) != 1 || hs.Exemplars[0].TraceID != 0xABCD || hs.Exemplars[0].Value != 123456 {
+		t.Fatalf("exemplars = %+v", hs.Exemplars)
+	}
+
+	// Merge: events concatenate, the newer black box wins, exemplars
+	// keep the newest per octave.
+	r2 := NewRegistry()
+	r2.Flight().Record(EventQuotaReject, 2, 0, 0)
+	r2.Flight().Dump("later_trigger")
+	h2 := r2.Histogram("server.op_latency_ns")
+	h2.ObserveTraced(123321, 0xBEEF) // same octave as 123456, newer
+	s2 := r2.Snapshot()
+	s.Merge(s2)
+	if len(s.Events) != 2 {
+		t.Fatalf("merged events = %+v", s.Events)
+	}
+	if s.BlackBox.Trigger != "later_trigger" {
+		t.Fatalf("merged black box trigger = %q", s.BlackBox.Trigger)
+	}
+	hs = s.Histogram("server.op_latency_ns")
+	if len(hs.Exemplars) != 1 || hs.Exemplars[0].TraceID != 0xBEEF {
+		t.Fatalf("merged exemplars = %+v", hs.Exemplars)
+	}
+
+	// The whole snapshot (spans, events, black box, exemplars) must
+	// stay JSON-serializable — it is the /debug/telemetry payload.
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestPrometheusExemplarSyntax(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("server.op_latency_ns")
+	h.ObserveTraced(99_000, 0x1234)
+	var sb strings.Builder
+	if err := WritePrometheus(&sb, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="0000000000001234"} 99000`) {
+		t.Fatalf("no exemplar on bucket line:\n%s", out)
+	}
+}

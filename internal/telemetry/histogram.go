@@ -18,7 +18,9 @@ package telemetry
 import (
 	"math"
 	"math/bits"
+	"sort"
 	"sync/atomic"
+	"time"
 )
 
 // Histogram bucketing: HDR-style log-linear. Values below 2^histSubBits
@@ -34,6 +36,11 @@ const (
 
 	// NumBuckets is the fixed bucket count of every Histogram.
 	NumBuckets = (64 - histSubBits + 1) << histSubBits
+
+	// numOctaves is the number of power-of-two octaves; exemplars are
+	// retained one per octave rather than one per bucket, which keeps a
+	// p99/p999 sample reachable without 976 pointer slots per histogram.
+	numOctaves = NumBuckets >> histSubBits
 )
 
 // bucketIndex maps a value to its bucket.
@@ -79,6 +86,23 @@ type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
 	max     atomic.Uint64
+
+	// exemplars holds the most recent traced observation per octave:
+	// the trace ID of a request that actually landed in that latency
+	// range, so a p99 bucket in a scrape links to a concrete trace.
+	// Written only on the sampled path (ObserveTraced with a nonzero
+	// trace ID); Observe never touches it.
+	exemplars [numOctaves]atomic.Pointer[Exemplar]
+}
+
+// Exemplar links one recorded value to the trace that produced it,
+// Prometheus-exemplar style. Low is the lower bound of the bucket the
+// value fell in, matching the snapshot's bucket keys.
+type Exemplar struct {
+	Low     uint64 `json:"low"`
+	Value   uint64 `json:"value"`
+	TraceID uint64 `json:"trace_id"`
+	UnixNs  int64  `json:"unix_ns"`
 }
 
 // NewHistogram creates a free-standing histogram. Most callers obtain
@@ -104,6 +128,26 @@ func (h *Histogram) Observe(v uint64) {
 			return
 		}
 	}
+}
+
+// ObserveTraced records one value like Observe and, when traceID is
+// nonzero, retains it as the exemplar for its latency octave. The
+// traceID == 0 path is exactly Observe plus one branch — zero
+// allocations — so untraced hot-path callers pass span.Trace()'s zero
+// through unconditionally.
+//
+//kvd:hotpath
+func (h *Histogram) ObserveTraced(v uint64, traceID uint64) {
+	h.Observe(v)
+	if traceID == 0 {
+		return
+	}
+	h.exemplars[bucketIndex(v)>>histSubBits].Store(&Exemplar{ //lint:allow hotalloc -- sampled-only path: traceID != 0 means this request already allocated a span
+		Low:     BucketLow(bucketIndex(v)),
+		Value:   v,
+		TraceID: traceID,
+		UnixNs:  time.Now().UnixNano(),
+	})
 }
 
 // Count returns the number of observations.
@@ -152,6 +196,11 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	// Derive the count from the buckets actually copied so percentile
 	// walks are internally consistent even mid-Observe.
 	s.Count = n
+	for i := range h.exemplars {
+		if e := h.exemplars[i].Load(); e != nil {
+			s.Exemplars = append(s.Exemplars, *e)
+		}
+	}
 	return s
 }
 
@@ -170,6 +219,9 @@ type HistogramSnapshot struct {
 	Sum     uint64        `json:"sum"`
 	Max     uint64        `json:"max"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Exemplars are the retained traced observations, at most one per
+	// latency octave, ordered by Low ascending.
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Merge folds o into s (same bucket layout assumed: both sides must
@@ -202,6 +254,27 @@ func (s *HistogramSnapshot) Merge(o HistogramSnapshot) {
 		}
 	}
 	s.Buckets = merged
+	s.mergeExemplars(o.Exemplars)
+}
+
+// mergeExemplars folds o's exemplars into s, keeping the newest (by
+// UnixNs) per octave and ascending Low order.
+func (s *HistogramSnapshot) mergeExemplars(o []Exemplar) {
+	if len(o) == 0 {
+		return
+	}
+	byOct := map[int]Exemplar{}
+	for _, e := range append(append([]Exemplar(nil), s.Exemplars...), o...) {
+		oct := bucketIndex(e.Value) >> histSubBits
+		if cur, ok := byOct[oct]; !ok || e.UnixNs > cur.UnixNs {
+			byOct[oct] = e
+		}
+	}
+	s.Exemplars = s.Exemplars[:0]
+	for _, e := range byOct {
+		s.Exemplars = append(s.Exemplars, e)
+	}
+	sort.Slice(s.Exemplars, func(i, j int) bool { return s.Exemplars[i].Low < s.Exemplars[j].Low })
 }
 
 // Quantile returns the q-th quantile (q in [0,1]) by linear

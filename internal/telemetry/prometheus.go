@@ -36,6 +36,13 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	for _, h := range s.Histograms {
 		m := promName(h.Name)
 		emit("# TYPE %s histogram\n", m)
+		// Index exemplars by the bucket they landed in so the bucket
+		// line for a slow octave carries the trace ID of a real sample
+		// (OpenMetrics exemplar syntax: "... # {labels} value").
+		exemplars := map[uint64]Exemplar{}
+		for _, e := range h.Exemplars {
+			exemplars[BucketLow(bucketIndex(e.Value))] = e
+		}
 		var cum uint64
 		for _, b := range h.Buckets {
 			cum += b.Count
@@ -43,7 +50,12 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			// the next bucket), which Prometheus treats as inclusive —
 			// close enough at 6% bucket resolution.
 			hi := b.Low + bucketWidth(bucketIndex(b.Low))
-			emit("%s_bucket{le=\"%d\"} %d\n", m, hi, cum)
+			if e, ok := exemplars[b.Low]; ok {
+				emit("%s_bucket{le=\"%d\"} %d # {trace_id=\"%016x\"} %d\n",
+					m, hi, cum, e.TraceID, e.Value)
+			} else {
+				emit("%s_bucket{le=\"%d\"} %d\n", m, hi, cum)
+			}
 		}
 		emit("%s_bucket{le=\"+Inf\"} %d\n", m, h.Count)
 		emit("%s_sum %d\n%s_count %d\n", m, h.Sum, m, h.Count)

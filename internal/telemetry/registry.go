@@ -21,6 +21,7 @@ type Registry struct {
 	gauges   *stats.Gauges
 	ints     *stats.IntGauges
 	tracer   *Tracer
+	flight   *FlightRecorder
 
 	mu    sync.RWMutex
 	order []string
@@ -34,6 +35,7 @@ func NewRegistry() *Registry {
 		gauges:   stats.NewGauges(),
 		ints:     stats.NewIntGauges(),
 		tracer:   NewTracer(),
+		flight:   NewFlightRecorder(),
 		hists:    map[string]*Histogram{},
 	}
 }
@@ -49,6 +51,9 @@ func (r *Registry) IntGauges() *stats.IntGauges { return r.ints }
 
 // Tracer returns the registry's span tracer.
 func (r *Registry) Tracer() *Tracer { return r.tracer }
+
+// Flight returns the registry's flight recorder.
+func (r *Registry) Flight() *FlightRecorder { return r.flight }
 
 // Histogram returns the histogram registered under name, creating it on
 // first use. The returned pointer is stable; hot paths resolve a name
@@ -78,11 +83,20 @@ type Snapshot struct {
 	IntGauges  map[string]int64    `json:"int_gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
 	Spans      []*Span             `json:"spans,omitempty"`
+	// Events is the flight recorder's ring at snapshot time; BlackBox
+	// is its most recent anomaly dump, if any fired.
+	Events   []Event   `json:"events,omitempty"`
+	BlackBox *BlackBox `json:"black_box,omitempty"`
 }
 
 // Snapshot captures every metric the registry knows about, plus the
 // tracer's retained spans.
 func (r *Registry) Snapshot() Snapshot {
+	// Publish the tracing/black-box levels as gauges so they ride the
+	// same scrape as everything else.
+	r.gauges.Set("trace.spans_published", r.tracer.Published())
+	r.gauges.Set("blackbox.events_recorded", r.flight.Recorded())
+	r.gauges.Set("blackbox.dumps", r.flight.Dumps())
 	s := Snapshot{
 		Counters:  map[string]uint64{},
 		Gauges:    map[string]uint64{},
@@ -104,6 +118,8 @@ func (r *Registry) Snapshot() Snapshot {
 		s.Histograms = append(s.Histograms, r.Histogram(name).Snapshot())
 	}
 	s.Spans = r.tracer.Spans()
+	s.Events = r.flight.Events()
+	s.BlackBox = r.flight.LastDump()
 	return s
 }
 
@@ -146,6 +162,15 @@ func (s *Snapshot) Merge(o Snapshot) {
 		return s.Histograms[i].Name < s.Histograms[j].Name
 	})
 	s.Spans = append(s.Spans, o.Spans...)
+	s.Events = append(s.Events, o.Events...)
+	sort.SliceStable(s.Events, func(i, j int) bool {
+		return s.Events[i].UnixNs < s.Events[j].UnixNs
+	})
+	// Black boxes do not merge — keep the most recent anomaly.
+	if o.BlackBox != nil &&
+		(s.BlackBox == nil || o.BlackBox.CapturedUnixNs > s.BlackBox.CapturedUnixNs) {
+		s.BlackBox = o.BlackBox
+	}
 }
 
 // Histogram returns the named histogram snapshot, or a zero snapshot if

@@ -39,8 +39,8 @@ func TestRegistrySnapshot(t *testing.T) {
 
 func TestRegistryHistogramHandleStable(t *testing.T) {
 	r := NewRegistry()
-	a := r.Histogram("x.latency_ns")
-	b := r.Histogram("x.latency_ns")
+	a := r.Histogram("test.latency_ns")
+	b := r.Histogram("test.latency_ns")
 	if a != b {
 		t.Fatal("histogram handle not stable")
 	}

@@ -52,6 +52,15 @@ type Stage struct {
 // no locking. All mutating methods are nil-receiver safe: the untraced
 // hot path passes a nil *Span around and every call is a no-op.
 type Span struct {
+	// TraceID, SpanID and Parent place this span in a distributed
+	// trace: TraceID is constant across every hop of one end-to-end
+	// request, SpanID names this hop, and Parent is the SpanID of the
+	// hop that caused it (0 for a root). All three are zero on spans
+	// from the pre-tracing sampled path; AssembleTraces ignores those.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint32 `json:"span_id,omitempty"`
+	Parent  uint32 `json:"parent_id,omitempty"`
+
 	Op      string       `json:"op"`
 	Ops     int          `json:"ops,omitempty"`
 	TotalNs uint64       `json:"total_ns"`
@@ -61,6 +70,64 @@ type Span struct {
 	Err     string       `json:"err,omitempty"`
 
 	start time.Time
+}
+
+// spanIDs and traceIDs are process-wide generators. Span IDs are a
+// plain counter (unique within a process is enough — assembly dedups on
+// the (TraceID, SpanID) pair); trace IDs are mixed through splitmix64
+// so independent processes almost surely never collide on the IDs that
+// end up in exemplars and trace rings.
+var (
+	spanIDs  atomic.Uint32
+	traceIDs atomic.Uint64
+)
+
+// NewSpanID returns a fresh nonzero span ID.
+func NewSpanID() uint32 {
+	for {
+		if id := spanIDs.Add(1); id != 0 {
+			return id
+		}
+	}
+}
+
+// NewTraceID returns a fresh nonzero trace ID.
+func NewTraceID() uint64 {
+	for {
+		if id := splitmix64(traceIDs.Add(1)); id != 0 {
+			return id
+		}
+	}
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// mixer that turns a sequential counter into well-spread IDs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// BeginTrace places the span in a distributed trace: parented under
+// parent within traceID, with a fresh span ID of its own. Nil-safe.
+func (s *Span) BeginTrace(traceID uint64, parent uint32) {
+	if s == nil {
+		return
+	}
+	s.TraceID = traceID
+	s.Parent = parent
+	s.SpanID = NewSpanID()
+}
+
+// Trace returns the span's trace identity, (0, 0) on a nil or untraced
+// span — the zero trace ID is what downstream hooks (exemplars, context
+// propagation) test to stay allocation-free off the sampled path.
+func (s *Span) Trace() (traceID uint64, spanID uint32) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.TraceID, s.SpanID
 }
 
 // SetOp labels the span; Ops is the batch size it covers.
@@ -182,6 +249,16 @@ func (t *Tracer) Sample() *Span {
 // explicitly traced requests (the wire FlagTrace path).
 func (t *Tracer) Force() *Span {
 	return &Span{start: time.Now()}
+}
+
+// StartTrace returns a span placed in a distributed trace: parented
+// under parent within traceID, with a fresh span ID. Used by hops that
+// received a sampled trace context from upstream and must produce a
+// span regardless of local sampling.
+func (t *Tracer) StartTrace(traceID uint64, parent uint32) *Span {
+	s := t.Force()
+	s.BeginTrace(traceID, parent)
+	return s
 }
 
 // Publish finishes the span (if still running) and retains it in the

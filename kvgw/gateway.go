@@ -23,6 +23,16 @@ type Backend interface {
 	Do(ops []kvdirect.Op) ([]kvdirect.Result, error)
 }
 
+// TraceBackend is the optional tracing extension of Backend: execute a
+// batch inside a distributed trace, returning the backend-side span so
+// the gateway can graft it under its own root. kvnet.Client,
+// kvnet.ShardedClient and kvnet.Server all satisfy it; when the backend
+// does not, sampled gateway batches fall back to Do and the trace tree
+// simply ends at the gateway hop.
+type TraceBackend interface {
+	DoTrace(ops []kvdirect.Op, traceID uint64, parent uint32) ([]kvdirect.Result, *telemetry.Span, error)
+}
+
 // Options configures a Gateway.
 type Options struct {
 	// Faults is an optional injector; the gateway consults the
@@ -37,6 +47,12 @@ type Options struct {
 	// limit). Larger SETs are refused with E2BIG before reaching the
 	// store.
 	MaxValueLen int
+	// TraceSampleEvery samples one backend batch in N for distributed
+	// tracing (0 = off). A sampled batch becomes a GW_BATCH root span
+	// whose trace context propagates through the backend — wire packet,
+	// primary apply, replication ship/ack — and assembles into one tree
+	// at /debug/traces.
+	TraceSampleEvery uint64
 }
 
 // MaxStoredValueLen is the largest payload a gateway item can hold —
@@ -51,10 +67,11 @@ const MaxStoredValueLen = 0xFFFF - 12
 // the wire format's batching (the paper's client-side batching, §5.4)
 // instead of defeating it with per-command round trips.
 type Gateway struct {
-	backend Backend
-	reg     *Registry
-	opts    Options
-	tel     *telemetry.Registry
+	backend  Backend
+	reg      *Registry
+	opts     Options
+	tel      *telemetry.Registry
+	batchLat *telemetry.Histogram
 
 	ln net.Listener
 	wg sync.WaitGroup
@@ -84,6 +101,8 @@ func Serve(backend Backend, reg *Registry, addr string, opts Options) (*Gateway,
 		ln:      ln,
 		conns:   map[net.Conn]struct{}{},
 	}
+	g.batchLat = g.tel.Histogram("gw.batch_latency_ns")
+	g.tel.Tracer().SetSampleEvery(opts.TraceSampleEvery)
 	g.wg.Add(1)
 	go g.acceptLoop()
 	return g, nil
@@ -188,6 +207,10 @@ type conn struct {
 	inbuf   []byte
 	out     []byte
 	pending []pending
+	// decodeNs accumulates memcache-frame decode time since the last
+	// flush; a sampled batch claims it as its gw.decode stage. Only
+	// tracked while trace sampling is on.
+	decodeNs uint64
 }
 
 func (g *Gateway) handle(nc net.Conn) {
@@ -236,13 +259,33 @@ func (c *conn) flush() error {
 	up := true
 	var lat time.Duration
 	if len(ops) > 0 {
+		// One sampled batch in N becomes the root of a distributed trace:
+		// the backend hop (and everything it causes — wire transfer,
+		// primary apply, replication ship/ack) parents under GW_BATCH.
+		span := c.g.tel.Tracer().Sample()
+		if span != nil {
+			span.BeginTrace(telemetry.NewTraceID(), 0)
+			span.SetOp("GW_BATCH", len(ops))
+			span.AddStage("gw.decode", c.decodeNs)
+		}
+		c.decodeNs = 0
 		start := c.g.opts.Now()
 		var err error
-		results, err = c.g.backend.Do(ops)
+		if tb, ok := c.g.backend.(TraceBackend); ok && span != nil {
+			var child *telemetry.Span
+			results, child, err = tb.DoTrace(ops, span.TraceID, span.SpanID)
+			span.Server = child
+		} else {
+			results, err = c.g.backend.Do(ops)
+		}
 		lat = c.g.opts.Now().Sub(start)
 		if err != nil || len(results) != len(ops) {
 			up = false
 		}
+		span.SetErr(err)
+		traceID, _ := span.Trace()
+		c.g.batchLat.ObserveTraced(uint64(lat), traceID)
+		c.g.tel.Tracer().Publish(span)
 		c.g.tel.Counters().Add("gw.batches", 1)
 		c.g.tel.Counters().Add("gw.batched_ops", uint64(len(ops)))
 	}
@@ -297,6 +340,15 @@ func (c *conn) readRequest() (Request, bool, error) {
 		// must reject it (or the translated op must fail loudly), never
 		// misframe the stream.
 		buf[f.Intn(len(buf))] ^= 1 << uint(f.Intn(8))
+	}
+	if c.g.tel.Tracer().SampleEvery() != 0 {
+		dstart := c.g.opts.Now()
+		req, _, derr := DecodeRequest(buf)
+		c.decodeNs += uint64(c.g.opts.Now().Sub(dstart))
+		if derr != nil {
+			return Request{}, true, derr
+		}
+		return req, false, nil
 	}
 	req, _, err := DecodeRequest(buf)
 	if err != nil {
@@ -445,6 +497,7 @@ func (c *conn) admit(req Request, create bool, growth int) bool {
 		(create && !t.admitCreate()) || (growth > 0 && !t.admitBytes(growth)) {
 		t.tel.Counters().Add("gw.quota_rejections", 1)
 		c.g.tel.Counters().Add("gw.quota_rejections", 1)
+		c.g.tel.Flight().Record(telemetry.EventQuotaReject, -1, 1, 0)
 		c.enqueueFail(req, StatusTempFailure)
 		return false
 	}

@@ -237,7 +237,7 @@ func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return c.exchange(ops, pkt, len(ops))
+	return c.exchange(ops, pkt, len(ops), 0)
 }
 
 // DoTraced sends one batch with the wire trace flag set, asking the
@@ -246,14 +246,32 @@ func (c *Client) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 // server-side child span with its per-stage timings, and the PCIe/DRAM
 // access counts the performance model charged the batch — the paper's
 // per-op cost breakdown for one live operation. Results are identical
-// to Do. The span is also retained in the client registry's trace ring.
+// to Do. The span is also retained in the client registry's trace ring,
+// under a fresh trace ID.
 func (c *Client) DoTraced(ops []kvdirect.Op) ([]kvdirect.Result, *telemetry.Span, error) {
-	span := c.tel.Tracer().Force()
+	return c.DoTrace(ops, 0, 0)
+}
+
+// DoTrace is DoTraced placed in an existing distributed trace: the
+// client span is parented under parent within traceID (0 starts a fresh
+// trace), and the packet carries the sampled trace context downstream,
+// so the server — and, for replicated writes, the per-backup log
+// shipping — parent their spans under this hop's.
+func (c *Client) DoTrace(ops []kvdirect.Op, traceID uint64, parent uint32) ([]kvdirect.Result, *telemetry.Span, error) {
+	if traceID == 0 {
+		traceID = telemetry.NewTraceID()
+	}
+	span := c.tel.Tracer().StartTrace(traceID, parent)
 	span.SetOp(traceLabel(ops), len(ops))
 	st := span.StartStage("client.encode")
 	pkt, err := kvdirect.EncodeBatch(ops)
 	if err == nil {
 		err = wire.MarkTraced(pkt)
+	}
+	if err == nil {
+		pkt, err = wire.MarkTraceContext(pkt, wire.TraceContext{
+			TraceID: span.TraceID, Parent: span.SpanID, Sampled: true,
+		})
 	}
 	st.End()
 	if err != nil {
@@ -261,7 +279,7 @@ func (c *Client) DoTraced(ops []kvdirect.Op) ([]kvdirect.Result, *telemetry.Span
 	}
 	// The server appends one extra trailing response holding its span.
 	st = span.StartStage("client.rtt")
-	results, err := c.exchange(ops, pkt, len(ops)+1)
+	results, err := c.exchange(ops, pkt, len(ops)+1, span.TraceID)
 	st.End()
 	if err != nil {
 		span.SetErr(err)
@@ -296,8 +314,9 @@ func traceLabel(ops []kvdirect.Op) string {
 }
 
 // exchange runs the retry loop for one encoded packet, expecting want
-// responses.
-func (c *Client) exchange(ops []kvdirect.Op, pkt []byte, want int) ([]kvdirect.Result, error) {
+// responses. A nonzero traceID links the RTT observation to its trace
+// as a histogram exemplar.
+func (c *Client) exchange(ops []kvdirect.Op, pkt []byte, want int, traceID uint64) ([]kvdirect.Result, error) {
 	retries := 0
 	if idempotent(ops) {
 		retries = c.opts.MaxRetries
@@ -317,7 +336,7 @@ func (c *Client) exchange(ops []kvdirect.Op, pkt []byte, want int) ([]kvdirect.R
 			lastErr = err // dial failure: maybe transient, keep retrying
 			continue
 		}
-		res, err := c.doOnceLocked(pkt, want) //lint:allow lockorder -- one request in flight per client by design; mu held across the wire exchange IS the serialization
+		res, err := c.doOnceLocked(pkt, want, traceID) //lint:allow lockorder -- one request in flight per client by design; mu held across the wire exchange IS the serialization
 		if err == nil {
 			return res, nil
 		}
@@ -329,7 +348,7 @@ func (c *Client) exchange(ops []kvdirect.Op, pkt []byte, want int) ([]kvdirect.R
 
 // doOnceLocked performs one request/response exchange on the current
 // connection.
-func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
+func (c *Client) doOnceLocked(pkt []byte, nops int, traceID uint64) ([]kvdirect.Result, error) {
 	start := time.Now()
 	if t := c.opts.WriteTimeout; t > 0 {
 		if err := c.conn.SetWriteDeadline(time.Now().Add(t)); err != nil {
@@ -361,7 +380,7 @@ func (c *Client) doOnceLocked(pkt []byte, nops int) ([]kvdirect.Result, error) {
 	if len(results) != nops {
 		return nil, fmt.Errorf("kvnet: %d results for %d ops", len(results), nops)
 	}
-	c.rtt.Observe(uint64(time.Since(start).Nanoseconds()))
+	c.rtt.ObserveTraced(uint64(time.Since(start).Nanoseconds()), traceID)
 	return results, nil
 }
 

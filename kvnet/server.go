@@ -140,7 +140,8 @@ func (b storeBackend) applyOne(req wire.Request, span *telemetry.Span) (resp wir
 	}()
 	start := time.Now()
 	resp = b.store.ApplyTraced(req, span)
-	b.opLatency.Observe(uint64(time.Since(start).Nanoseconds()))
+	traceID, _ := span.Trace()
+	b.opLatency.ObserveTraced(uint64(time.Since(start).Nanoseconds()), traceID)
 	return resp
 }
 
@@ -308,13 +309,20 @@ func (s *Server) handle(conn net.Conn) {
 			return // short read / reset / idle timeout: connection is gone
 		}
 		// A client-requested trace (FlagTrace on the packet) always gets
-		// a span, returned as one extra trailing response; otherwise the
+		// a span, returned as one extra trailing response. A sampled
+		// trace context (FlagTraceCtx) places the span in the sender's
+		// distributed trace — parented under the sender's span — whether
+		// or not the span is also returned inline. Otherwise the
 		// server's own sampler may pick the batch for its trace ring.
 		traced := wire.IsTraced(pkt)
+		tc, hasCtx := wire.PacketTraceContext(pkt)
 		var span *telemetry.Span
-		if traced {
+		switch {
+		case hasCtx && tc.Sampled:
+			span = s.tel.Tracer().StartTrace(tc.TraceID, tc.Parent)
+		case traced:
 			span = s.tel.Tracer().Force()
-		} else {
+		default:
 			span = s.tel.Tracer().Sample()
 		}
 		st := span.StartStage("server.decode")
@@ -338,6 +346,13 @@ func (s *Server) handle(conn net.Conn) {
 			// marshalling, so the reply stage is deliberately outside it.
 			span.Finish()
 			resps = append(resps, spanResponse(span))
+			if span.TraceID != 0 {
+				// A context-carrying span is ALSO retained locally: the
+				// copy riding back to the client may land in a different
+				// process's ring, and trace assembly dedups the pair by
+				// (TraceID, SpanID).
+				s.tel.Tracer().Publish(span)
+			}
 		} else if span != nil {
 			s.tel.Tracer().Publish(span)
 		}
@@ -397,6 +412,38 @@ func (s *Server) apply(reqs []wire.Request, span *telemetry.Span) []wire.Respons
 // protocol gateway) use this as their loopback path when they run inside
 // the server process; it satisfies the same Do contract as *Client.
 func (s *Server) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
+	resps := s.apply(opsToRequests(ops), nil)
+	out := make([]kvdirect.Result, len(resps))
+	for i, r := range resps {
+		out[i] = kvdirect.Result{Status: r.Status, Value: r.Value}
+	}
+	return out, nil
+}
+
+// DoTrace executes one batch through the loopback path like Do, under a
+// span placed in the distributed trace (traceID, parent) — or a fresh
+// trace when traceID is 0. The span is retained in the server's trace
+// ring and returned so in-process front-ends (the gateway) can embed it
+// in their own root span.
+func (s *Server) DoTrace(ops []kvdirect.Op, traceID uint64, parent uint32) ([]kvdirect.Result, *telemetry.Span, error) {
+	if traceID == 0 {
+		traceID = telemetry.NewTraceID()
+	}
+	span := s.tel.Tracer().StartTrace(traceID, parent)
+	reqs := opsToRequests(ops)
+	span.SetOp(batchLabel(reqs), len(reqs))
+	st := span.StartStage("server.apply")
+	resps := s.apply(reqs, span)
+	st.End()
+	s.tel.Tracer().Publish(span)
+	out := make([]kvdirect.Result, len(resps))
+	for i, r := range resps {
+		out[i] = kvdirect.Result{Status: r.Status, Value: r.Value}
+	}
+	return out, span, nil
+}
+
+func opsToRequests(ops []kvdirect.Op) []wire.Request {
 	reqs := make([]wire.Request, len(ops))
 	for i, op := range ops {
 		reqs[i] = wire.Request{
@@ -408,12 +455,7 @@ func (s *Server) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 			Param:     op.Param,
 		}
 	}
-	resps := s.apply(reqs, nil)
-	out := make([]kvdirect.Result, len(resps))
-	for i, r := range resps {
-		out[i] = kvdirect.Result{Status: r.Status, Value: r.Value}
-	}
-	return out, nil
+	return reqs
 }
 
 // errorFrame encodes a single-error-response frame.

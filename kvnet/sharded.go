@@ -8,6 +8,7 @@ import (
 
 	"kvdirect"
 	"kvdirect/internal/stats"
+	"kvdirect/internal/telemetry"
 )
 
 // ShardAddrs names one shard's replica endpoints: Primary is the
@@ -37,6 +38,7 @@ type ShardAddrs struct {
 type ShardedClient struct {
 	shards   []*replicaSet
 	counters *stats.Counters
+	tel      *telemetry.Registry
 }
 
 // DialShards connects to every endpoint (one replica per shard). On
@@ -56,9 +58,18 @@ func DialReplicaShards(shards []ShardAddrs, opts Options) (*ShardedClient, error
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("kvnet: no shard addresses")
 	}
+	tel := opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewRegistry()
+		// Propagate the fallback into the per-shard dials too: root
+		// spans and per-shard client spans must share one ring or
+		// assembled traces lose their middle hops.
+		opts.Telemetry = tel
+	}
 	sc := &ShardedClient{
 		shards:   make([]*replicaSet, len(shards)),
 		counters: stats.NewCounters(),
+		tel:      tel,
 	}
 	for i, sh := range shards {
 		if sh.Primary == "" {
@@ -80,6 +91,11 @@ func DialReplicaShards(shards []ShardAddrs, opts Options) (*ShardedClient, error
 // rotations after transport errors) and sharded.route_updates
 // (coordinator republishes applied).
 func (sc *ShardedClient) Counters() *stats.Counters { return sc.counters }
+
+// Telemetry returns the routing layer's registry: when Options.Telemetry
+// was set at dial time it is shared with every per-shard connection, so
+// sharded-batch root spans and per-shard client spans land in one ring.
+func (sc *ShardedClient) Telemetry() *telemetry.Registry { return sc.tel }
 
 // Close closes every shard connection, returning the first error.
 func (sc *ShardedClient) Close() error {
@@ -269,6 +285,54 @@ func (sc *ShardedClient) Do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 	return out, nil
 }
 
+// DoTrace is Do placed in a distributed trace (traceID 0 starts a fresh
+// one). A single-shard batch returns that shard's client span directly;
+// a batch spanning shards gets a SHARDED root span with one client span
+// per shard parented under it. Every span carries the trace context
+// downstream, so server-apply and replication ship spans stitch in.
+func (sc *ShardedClient) DoTrace(ops []kvdirect.Op, traceID uint64, parent uint32) ([]kvdirect.Result, *telemetry.Span, error) {
+	if traceID == 0 {
+		traceID = telemetry.NewTraceID()
+	}
+	groups := make(map[int][]int)
+	for i, op := range ops {
+		s := sc.shardIndex(op.Key)
+		groups[s] = append(groups[s], i)
+	}
+	childParent := parent
+	var root *telemetry.Span
+	if len(groups) > 1 {
+		root = sc.tel.Tracer().StartTrace(traceID, parent)
+		root.SetOp("SHARDED", len(ops))
+		childParent = root.SpanID
+	}
+	out := make([]kvdirect.Result, len(ops))
+	var last *telemetry.Span
+	for s, idxs := range groups {
+		sub := make([]kvdirect.Op, len(idxs))
+		for j, i := range idxs {
+			sub[j] = ops[i]
+		}
+		res, span, err := sc.shards[s].doTrace(sub, traceID, childParent)
+		if err != nil {
+			if root != nil {
+				root.SetErr(err)
+				sc.tel.Tracer().Publish(root)
+			}
+			return nil, span, err
+		}
+		last = span
+		for j, i := range idxs {
+			out[i] = res[j]
+		}
+	}
+	if root != nil {
+		sc.tel.Tracer().Publish(root)
+		return out, root, nil
+	}
+	return out, last, nil
+}
+
 // --- per-shard replica set ---
 
 // replicaSet is one shard's view of its replica group: an ordered
@@ -377,6 +441,24 @@ func (rs *replicaSet) update(sh ShardAddrs) {
 // NotPrimary redirects and rotating across replicas on transport
 // failures until the batch lands or the failover budget is exhausted.
 func (rs *replicaSet) do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
+	res, _, err := rs.doCall(ops, func(c *Client) ([]kvdirect.Result, *telemetry.Span, error) {
+		r, err := c.Do(ops)
+		return r, nil, err
+	})
+	return res, err
+}
+
+// doTrace is do under a distributed trace: each attempt's client span is
+// parented under parent, so a failover mid-trace leaves the failed
+// attempts visible in the tree alongside the one that landed.
+func (rs *replicaSet) doTrace(ops []kvdirect.Op, traceID uint64, parent uint32) ([]kvdirect.Result, *telemetry.Span, error) {
+	return rs.doCall(ops, func(c *Client) ([]kvdirect.Result, *telemetry.Span, error) {
+		return c.DoTrace(ops, traceID, parent)
+	})
+}
+
+// doCall runs the retry loop shared by do and doTrace.
+func (rs *replicaSet) doCall(ops []kvdirect.Op, call func(*Client) ([]kvdirect.Result, *telemetry.Span, error)) ([]kvdirect.Result, *telemetry.Span, error) {
 	// The budget covers one full tour of the group plus the retries a
 	// failover needs for the coordinator to detect and promote.
 	rs.mu.Lock()
@@ -396,7 +478,7 @@ func (rs *replicaSet) do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 			lastErr = err // dial failure: client() already rotated
 			continue
 		}
-		res, err := c.Do(ops)
+		res, span, err := call(c)
 		if err != nil {
 			lastErr = err
 			if errors.Is(err, ErrClosed) {
@@ -410,7 +492,7 @@ func (rs *replicaSet) do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 				// Ambiguous failure of a non-idempotent batch: replaying
 				// it elsewhere could apply an update twice. Same contract
 				// as Client.Do.
-				return nil, err
+				return nil, span, err
 			}
 			rs.dropClient(addr, c)
 			rs.rotate(addr)
@@ -428,9 +510,9 @@ func (rs *replicaSet) do(ops []kvdirect.Op) ([]kvdirect.Result, error) {
 			}
 			continue
 		}
-		return res, nil
+		return res, span, nil
 	}
-	return nil, fmt.Errorf("kvnet: shard unavailable after %d attempts: %w", budget, lastErr)
+	return nil, nil, fmt.Errorf("kvnet: shard unavailable after %d attempts: %w", budget, lastErr)
 }
 
 // dropClient forgets a broken cached connection so the next attempt

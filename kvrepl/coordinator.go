@@ -229,6 +229,7 @@ func (c *Coordinator) checkLeases() {
 		g.primary = candID
 		g.lastBeat = now // fresh lease for the new primary
 		c.counters.Add("repl.failovers", 1)
+		c.tel.Flight().Record(telemetry.EventFailover, int64(shard), g.epoch, uint64(candID))
 		promos = append(promos, promotion{
 			shard: shard,
 			cand:  cand,
@@ -247,6 +248,13 @@ func (c *Coordinator) checkLeases() {
 		if fn != nil {
 			fn(p.shard, p.addrs)
 		}
+	}
+	if len(promos) > 0 {
+		// A lease failover is exactly the anomaly the flight recorder
+		// exists for: freeze the event ring into a black box the moment
+		// the new primary is installed, so the scene is captured before
+		// later traffic scrolls it away.
+		c.tel.Flight().Dump("lease_failover")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"kvdirect/internal/fault"
 	"kvdirect/internal/repllog"
+	"kvdirect/internal/telemetry"
 	"kvdirect/internal/wire"
 	"kvdirect/kvnet"
 )
@@ -578,6 +579,7 @@ func (m *Migration) beginCutover() error {
 	// redirects clients to the destination primary.
 	m.src.maybeDemote(cut, m.dest.ClientAddr())
 	m.state.Store(int32(MigrateCutover))
+	c.tel.Flight().Record(telemetry.EventMigrationCutover, int64(m.shard), cut, 0)
 	return nil
 }
 

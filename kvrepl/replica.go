@@ -430,6 +430,7 @@ func (r *Replica) ApplyBatchTraced(reqs []wire.Request, span *telemetry.Span) []
 			out[i] = wire.Response{Status: wire.StatusNotPrimary, Value: hint}
 		}
 		r.counters.Add("repl.not_primary_rejects", uint64(len(reqs)))
+		r.tel.Flight().Record(telemetry.EventNotPrimary, int64(r.shard), r.epoch, uint64(len(reqs)))
 		return out
 	}
 	epoch := r.epoch
@@ -446,6 +447,17 @@ func (r *Replica) ApplyBatchTraced(reqs []wire.Request, span *telemetry.Span) []
 		if err != nil {
 			out[i] = wire.Response{Status: wire.StatusError, Value: []byte(err.Error())}
 			continue
+		}
+		if traceID, spanID := span.Trace(); traceID != 0 {
+			// Stamp the trace context onto the log entry's own packet so
+			// it rides the replication stream (and any migration replay)
+			// for free: each backup's apply and the primary's per-entry
+			// ship hop stitch themselves to the originating write's trace.
+			if pkt, merr := wire.MarkTraceContext(e.Packet, wire.TraceContext{
+				TraceID: traceID, Parent: spanID, Sampled: true,
+			}); merr == nil {
+				e.Packet = pkt
+			}
 		}
 		out[i] = r.applyLocalLocked(req, span)
 		r.lastApplied = seq

@@ -12,6 +12,7 @@ import (
 	"kvdirect"
 	"kvdirect/internal/fault"
 	"kvdirect/internal/repllog"
+	"kvdirect/internal/telemetry"
 	"kvdirect/internal/wire"
 	"kvdirect/kvnet"
 )
@@ -189,6 +190,15 @@ func (p *peerSync) syncOnce() (progressed bool) {
 				sent = e.Seq
 				continue
 			}
+			// A sampled trace context stamped onto the entry's packet by
+			// the primary's write path turns this ship+ack round-trip into
+			// a span of the originating write's trace — one per backup, so
+			// an assembled tree shows the quorum ack fan-out.
+			var span *telemetry.Span
+			if tc, ok := wire.PacketTraceContext(e.Packet); ok && tc.Sampled {
+				span = p.r.tel.Tracer().StartTrace(tc.TraceID, tc.Parent)
+				span.SetOp("REPL_SHIP", 1)
+			}
 			err = p.send(conn, bw, wire.ReplMessage{
 				Kind:    wire.ReplAppend,
 				Epoch:   p.epoch,
@@ -196,12 +206,20 @@ func (p *peerSync) syncOnce() (progressed bool) {
 				Payload: e.Packet,
 			})
 			if err != nil {
+				span.SetErr(err)
+				p.r.tel.Tracer().Publish(span)
 				return true
 			}
 			ack, rerr := p.recv(conn, br)
 			if rerr != nil || p.handleAck(ack) != nil {
+				if rerr == nil {
+					rerr = errors.New("kvrepl: ack rejected")
+				}
+				span.SetErr(rerr)
+				p.r.tel.Tracer().Publish(span)
 				return true
 			}
+			p.r.tel.Tracer().Publish(span)
 			sent = e.Seq
 			p.r.counters.Add("repl.entries_shipped", 1)
 		}
@@ -559,9 +577,18 @@ func (r *Replica) applyEntry(m wire.ReplMessage) (ack uint64, gap bool) {
 	if err := r.log.Append(e); err != nil {
 		return r.lastApplied, true
 	}
+	// A sampled trace context on the shipped packet makes this backup's
+	// apply a span of the originating write's trace, charged with the
+	// store's model access counts just like the primary's apply.
+	var span *telemetry.Span
+	if tc, ok := wire.PacketTraceContext(e.Packet); ok && tc.Sampled {
+		span = r.tel.Tracer().StartTrace(tc.TraceID, tc.Parent)
+		span.SetOp("REPL_APPLY", 1)
+	}
 	// Apply after logging; a panic still advances the frontier (the
 	// primary assigned the sequence and got the same panic response).
-	resp := r.applyLocalLocked(req, nil)
+	resp := r.applyLocalLocked(req, span)
+	r.tel.Tracer().Publish(span)
 	_ = resp
 	r.lastApplied = m.Seq
 	r.counters.Add("repl.entries_applied", 1)
